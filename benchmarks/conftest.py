@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one figure/table of the paper (or one
+ablation from DESIGN.md) and asserts its *shape* — who wins, by roughly
+what factor — rather than absolute numbers.  Summaries print at the end
+of the run so `pytest benchmarks/ --benchmark-only` doubles as the
+reproduction report.
+
+Set ``REPRO_FULL_SCALE=1`` to run Fig. 2 at the paper's full dataset
+size (~12 GiB of synthetic images; a few minutes of wall time) instead
+of the 10x-reduced default that preserves every ratio.
+"""
+
+import os
+
+import pytest
+
+_REPORT_LINES = []
+
+
+def record_report(title: str, body: str) -> None:
+    _REPORT_LINES.append(f"\n===== {title} =====\n{body}")
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    if _REPORT_LINES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            "================ paper reproduction report ================")
+        for chunk in _REPORT_LINES:
+            for line in chunk.splitlines():
+                terminalreporter.write_line(line)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Burst parallelism: scale a job from 1 to every core in milliseconds.
+
+The paper cites burst-parallel training [43] as a workload that needs
+exactly this: short jobs that want the whole cluster *right now* and
+nothing a moment later.  Compute-proclet splits are cheap enough to
+harness four machines' worth of cores in a few milliseconds, run the
+burst, and merge back down.
+
+Run:  python examples/burst_parallel.py
+"""
+
+from repro import ClusterSpec, GiB, MachineSpec, Quicksand, Task
+from repro.units import MS
+
+
+def main():
+    qs = Quicksand(ClusterSpec(machines=[
+        MachineSpec(name=f"m{i}", cores=16, dram_bytes=8 * GiB)
+        for i in range(4)
+    ]))
+
+    pool = qs.compute_pool(name="burst", parallelism=4, initial_members=1)
+
+    # The burst: 256 tasks of 10 ms each = 2.56 CPU-seconds.
+    # On one 4-thread member: ~640 ms.  On 64 cores: ~40 ms.
+    tasks = [Task(work=10 * MS, done=qs.sim.event()) for _ in range(256)]
+    t0 = qs.sim.now
+    for t in tasks:
+        pool.submit(t)
+
+    # Scale out aggressively until the cluster says no (§3.3's rule:
+    # split only while there is idle CPU somewhere).
+    grow_t0 = qs.sim.now
+    while pool.grow(4):
+        qs.run(until=qs.sim.now + 1 * MS)
+    qs.run(until=qs.sim.now + 2 * MS)
+    scale_out_time = qs.sim.now - grow_t0
+    peak_members = pool.size
+
+    qs.run(until_event=qs.sim.all_of([t.done for t in tasks]))
+    burst_time = qs.sim.now - t0
+
+    # Scale back in: the burst is over, release the cores.
+    pool.shrink(pool.size - 1)
+    qs.run(until=qs.sim.now + 5 * MS)
+
+    ideal = 256 * 10 * MS / 64  # perfectly parallel on 64 cores
+    print(f"cluster: 4 machines x 16 cores")
+    print(f"scaled 1 -> {peak_members} compute proclets "
+          f"in {scale_out_time * 1e3:.1f} ms")
+    print(f"burst of 2.56 CPU-seconds finished in "
+          f"{burst_time * 1e3:.1f} ms "
+          f"(ideal on 64 cores: {ideal * 1e3:.1f} ms)")
+    print(f"after shrink: {pool.size} member(s), "
+          f"{qs.splits} splits / {qs.merges} merges total")
+
+
+if __name__ == "__main__":
+    main()

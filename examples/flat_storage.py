@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Flat storage: aggregating capacity AND IOPS across machines.
+
+Storage proclets expose ReadObject/WriteObject over per-machine devices;
+the flat-storage abstraction hashes objects across all of them, so an
+application sees one namespace with the sum of every device's capacity
+and IOPS (§3.2, §5 of the paper).
+
+Run:  python examples/flat_storage.py
+"""
+
+from repro import (
+    ClusterSpec,
+    GiB,
+    KiB,
+    MachineSpec,
+    Quicksand,
+    StorageSpec,
+)
+
+
+def build(n_machines: int) -> Quicksand:
+    return Quicksand(ClusterSpec(machines=[
+        MachineSpec(
+            name=f"s{i}", cores=4, dram_bytes=2 * GiB,
+            storage=StorageSpec(capacity_bytes=32 * GiB, iops=5_000),
+        )
+        for i in range(n_machines)
+    ]))
+
+
+def timed_io(qs: Quicksand, objects: int = 200) -> float:
+    fs = qs.flat_storage(name="blobs")
+    writes = [fs.write(f"obj-{i}", 64 * KiB, payload := None)
+              for i in range(objects)]
+    qs.run(until_event=qs.sim.all_of(writes))
+    t0 = qs.sim.now
+    reads = [fs.read(f"obj-{i}") for i in range(objects)]
+    qs.run(until_event=qs.sim.all_of(reads))
+    return qs.sim.now - t0
+
+
+def main():
+    for n in (1, 2, 4):
+        qs = build(n)
+        elapsed = timed_io(qs)
+        fs_capacity = n * 32
+        print(f"{n} machine(s): {fs_capacity} GiB total, "
+              f"{n * 5000} IOPS aggregate -> "
+              f"200 reads in {elapsed * 1e3:.1f} ms (virtual)")
+    print("reads speed up with machine count: IOPS aggregate, not just "
+          "capacity — the flat-storage claim of §3.2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environment lacks the
+``wheel`` package, so PEP 517 editable builds are unavailable)."""
+
+from setuptools import setup
+
+setup()

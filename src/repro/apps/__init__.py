@@ -1,0 +1,16 @@
+"""Applications from the paper: the Fig. 1 filler and phased antagonist,
+the §4 DNN pipeline, plus an analytics example."""
+
+from .analytics import WordCountJob
+from .filler import FillerApp
+from .kvcache import ElasticCache
+from .phased import PhasedApp
+from .service import LatencyService
+
+__all__ = [
+    "ElasticCache",
+    "FillerApp",
+    "LatencyService",
+    "PhasedApp",
+    "WordCountJob",
+]

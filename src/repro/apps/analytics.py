@@ -1,0 +1,81 @@
+"""A word-count-style analytics workload (extra example domain).
+
+Demonstrates the general-purpose side of the abstractions: documents in a
+sharded vector, a parallel map producing per-task partial counts, and a
+reduce that folds them — the classic map-reduce the paper cites as the
+kind of high-level framework Quicksand should host (§2, §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..compute import reduce as parallel_reduce
+from ..sim import Event
+from ..units import KiB
+
+
+class WordCountJob:
+    """Count synthetic word occurrences across a document corpus."""
+
+    #: CPU cost per byte of document scanned (models tokenization).
+    CPU_PER_BYTE = 5e-9
+
+    def __init__(self, qs, documents: int = 1000,
+                 words_per_doc: int = 100, vocabulary: int = 50,
+                 doc_bytes: float = 16 * KiB, pool_members: int = 4):
+        self.qs = qs
+        self.vector = qs.sharded_vector(name="docs")
+        self.pool = qs.compute_pool(name="wordcount",
+                                    initial_members=pool_members)
+        rng = qs.sim.random.stream("wordcount")
+        self._vocab = [f"word{i}" for i in range(vocabulary)]
+        self.expected: Dict[str, int] = {}
+        events = []
+        for d in range(documents):
+            words: List[str] = rng.choices(self._vocab, k=words_per_doc)
+            for w in words:
+                self.expected[w] = self.expected.get(w, 0) + 1
+            events.append(self.vector.append(words, doc_bytes))
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        qs.sim.run(until=qs.sim.now + 0.01)  # settle shard splits
+        self.doc_bytes = doc_bytes
+
+    def run(self) -> Event:
+        """Run the count; event value is the {word: count} dict."""
+
+        def fold(acc, _key, value):
+            # Leaf folds see a document's word list; combiner folds see a
+            # partial dict from another task.
+            if isinstance(value, dict):
+                for w, n in value.items():
+                    acc[w] = acc.get(w, 0) + n
+            else:
+                for w in value:
+                    acc[w] = acc.get(w, 0) + 1
+            return acc
+
+        # A fresh dict per fold chain: initial must be treated as
+        # immutable, so wrap the reduce with a copying fold.
+        def fold_copy(acc, key, value):
+            if acc is _SENTINEL:
+                acc = {}
+            return fold(acc, key, value)
+
+        _SENTINEL = object()
+
+        ev = parallel_reduce(
+            self.pool, self.vector,
+            work=self.doc_bytes * self.CPU_PER_BYTE,
+            fold=fold_copy, initial=_SENTINEL,
+        )
+        out = self.qs.sim.event()
+
+        def _finish(e):
+            if not e.ok:
+                out.fail(e.value)
+            else:
+                out.succeed(e.value if e.value is not _SENTINEL else {})
+
+        ev.subscribe(_finish)
+        return out

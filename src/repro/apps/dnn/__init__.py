@@ -1,0 +1,20 @@
+"""DNN training pipeline case study (§4 of the paper)."""
+
+from .images import DatasetSpec, ImageSpec, load_dataset
+from .pipeline import BatchPipeline, BatchPipelineResult, StreamingPipeline
+from .preprocess import PreprocessStage, StreamingPreprocess, StreamingSource
+from .trainer import GpuAvailabilityDriver, TrainerApp
+
+__all__ = [
+    "BatchPipeline",
+    "BatchPipelineResult",
+    "DatasetSpec",
+    "GpuAvailabilityDriver",
+    "ImageSpec",
+    "PreprocessStage",
+    "StreamingPipeline",
+    "StreamingPreprocess",
+    "StreamingSource",
+    "TrainerApp",
+    "load_dataset",
+]

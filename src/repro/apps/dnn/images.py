@@ -1,0 +1,93 @@
+"""Synthetic image dataset for the DNN-training case study (§4).
+
+The paper preprocesses real images with OpenCV; what Figs. 2 and 3
+depend on is only (a) the dataset's total bytes and (b) the CPU-seconds
+of preprocessing per image.  We generate synthetic images with
+configurable size/cost and a little deterministic jitter, calibrated so
+the baseline machine of Fig. 2 (46 cores) finishes in ~26 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...units import MiB
+
+
+@dataclass(frozen=True)
+class ImageSpec:
+    """One synthetic image."""
+
+    index: int
+    nbytes: float
+    preprocess_cpu: float
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape of a synthetic image dataset.
+
+    Defaults reproduce Fig. 2's regime: ``count * mean_bytes`` ≈ 11.7 GiB
+    (fits the 13 GiB baseline machine with runtime headroom) and
+    ``count * mean_cpu`` = 1200 CPU-seconds (≈26.1 s on 46 cores).
+    """
+
+    count: int = 12_000
+    mean_bytes: float = 1 * MiB
+    mean_cpu: float = 0.1
+    size_jitter: float = 0.0   # +/- fraction of mean_bytes
+    cpu_jitter: float = 0.0    # +/- fraction of mean_cpu
+    seed_stream: str = "dataset"
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("dataset needs at least one image")
+        if self.mean_bytes <= 0 or self.mean_cpu <= 0:
+            raise ValueError("image size and cpu cost must be positive")
+        if not 0.0 <= self.size_jitter < 1.0 \
+                or not 0.0 <= self.cpu_jitter < 1.0:
+            raise ValueError("jitter fractions must be in [0, 1)")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.count * self.mean_bytes
+
+    @property
+    def total_cpu(self) -> float:
+        return self.count * self.mean_cpu
+
+    def generate(self, rng) -> List[ImageSpec]:
+        """Materialize the image list with deterministic jitter."""
+        images = []
+        for i in range(self.count):
+            sz = self.mean_bytes
+            cpu = self.mean_cpu
+            if self.size_jitter > 0:
+                sz *= 1.0 + self.size_jitter * (2 * rng.random() - 1.0)
+            if self.cpu_jitter > 0:
+                cpu *= 1.0 + self.cpu_jitter * (2 * rng.random() - 1.0)
+            images.append(ImageSpec(index=i, nbytes=sz, preprocess_cpu=cpu))
+        return images
+
+
+def load_dataset(qs, vector, spec: DatasetSpec):
+    """Append the dataset into a sharded vector; returns the completion
+    event.  The element *value* carries the per-image CPU cost so the
+    preprocessing stage can look it up without a second table.
+
+    Loading models a bulk ingest from outside the cluster (the paper's
+    images arrive from storage); it is not part of any measured window.
+    """
+    rng = qs.sim.random.stream(spec.seed_stream)
+    images = spec.generate(rng)
+
+    def loader():
+        for img in images:
+            ev = vector.append(img.preprocess_cpu, img.nbytes)
+            yield ev
+        # Let deferred seals/splits finish before declaring ready.
+        yield qs.sim.timeout(1e-3)
+        return len(images)
+
+    return qs.sim.process(loader(), name="dataset-loader")

@@ -1,0 +1,124 @@
+"""End-to-end DNN training pipeline (§4): images -> CPU preprocess ->
+sharded queue -> emulated-GPU training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...units import KiB, MiB
+from .images import DatasetSpec, load_dataset
+from .preprocess import PreprocessStage, StreamingPreprocess
+from .trainer import TrainerApp
+
+
+@dataclass
+class BatchPipelineResult:
+    """Outcome of a Fig. 2-style batch preprocessing run."""
+
+    load_time: float
+    preprocess_time: float
+    images: int
+    shard_machines: dict = field(default_factory=dict)
+    worker_machines: dict = field(default_factory=dict)
+    remote_calls: int = 0
+    local_calls: int = 0
+
+
+class BatchPipeline:
+    """Fig. 2's workload: preprocess a full dataset once.
+
+    The trainer side is a fast drain (GPUs are not the bottleneck in
+    Fig. 2 — the experiment isolates the preprocessing stage).
+    """
+
+    def __init__(self, qs, dataset: DatasetSpec = DatasetSpec(),
+                 workers: Optional[int] = None,
+                 output_bytes: float = 64 * KiB,
+                 queue_shards: int = 2):
+        self.qs = qs
+        self.dataset = dataset
+        self.vector = qs.sharded_vector(name="images")
+        self.queue = qs.sharded_queue(name="batches",
+                                      initial_shards=queue_shards)
+        self.stage = PreprocessStage(qs, self.vector, self.queue,
+                                     workers=workers,
+                                     output_bytes=output_bytes)
+        self._drain_running = True
+
+    def _drainer(self):
+        """Instant consumer standing in for non-bottleneck GPUs."""
+        while self._drain_running:
+            batch = yield self.queue.pop()
+            if batch is None:
+                return
+
+    def run(self) -> BatchPipelineResult:
+        """Load, preprocess, measure.  Runs the simulator to completion
+        of the preprocessing stage and returns the measurements."""
+        sim = self.qs.sim
+        t0 = sim.now
+        loaded = load_dataset(self.qs, self.vector, self.dataset)
+        sim.run(until_event=loaded)
+        load_time = sim.now - t0
+
+        for _ in range(4):
+            sim.process(self._drainer(), name="drain")
+        t1 = sim.now
+        done = self.stage.run_batch()
+        sim.run(until_event=done)
+        preprocess_time = sim.now - t1
+        self._drain_running = False
+
+        def count_by_machine(machines):
+            out = {}
+            for m in machines:
+                out[m.name] = out.get(m.name, 0) + 1
+            return out
+
+        return BatchPipelineResult(
+            load_time=load_time,
+            preprocess_time=preprocess_time,
+            images=len(self.vector),
+            shard_machines=count_by_machine(self.vector.shard_machines()),
+            worker_machines=count_by_machine(self.stage.pool.machines()),
+            remote_calls=self.qs.runtime.remote_calls,
+            local_calls=self.qs.runtime.local_calls,
+        )
+
+
+class StreamingPipeline:
+    """Fig. 3's workload: continuous preprocessing feeding real
+    (emulated) GPUs whose availability changes at runtime."""
+
+    def __init__(self, qs, gpu_machine, cpu_per_batch: float = 0.01,
+                 image_count: int = 256, image_bytes: float = 0.25 * MiB,
+                 max_members: Optional[int] = None,
+                 initial_members: int = 4,
+                 use_declared_demand: bool = True):
+        self.qs = qs
+        self.vector = qs.sharded_vector(name="stream-images")
+        self.queue = qs.sharded_queue(name="stream-batches",
+                                      initial_shards=1)
+        spec = DatasetSpec(count=image_count, mean_bytes=image_bytes,
+                           mean_cpu=cpu_per_batch)
+        qs.sim.run(until_event=load_dataset(qs, self.vector, spec))
+        # The trainer reports its achievable consumption rate (§4: the
+        # controller scales "after learning of a change in GPU
+        # resources"); with use_declared_demand=False the controller
+        # falls back to pure queue signals (the ABL-SIGNAL ablation).
+        demand_fn = ((lambda: gpu_machine.gpus.service_rate)
+                     if use_declared_demand else None)
+        self.preprocess = StreamingPreprocess(
+            qs, self.vector, self.queue, cpu_per_batch=cpu_per_batch,
+            initial_members=initial_members, max_members=max_members,
+            demand_fn=demand_fn,
+        )
+        self.trainer = TrainerApp(qs, self.queue, machine=gpu_machine)
+
+    def start(self) -> None:
+        self.trainer.start()
+
+    def stop(self) -> None:
+        self.trainer.stop()
+        self.preprocess.stop()

@@ -1,0 +1,197 @@
+"""CPU preprocessing stage of the DNN pipeline (§4).
+
+Two operating modes:
+
+* **batch** (Fig. 2): preprocess an entire sharded vector of images once,
+  as fast as the cluster's CPUs allow.  Work is chunked into tasks over a
+  compute pool; each task streams its slice through a prefetching reader
+  (remote shards cost ~nothing thanks to overlap) and pushes preprocessed
+  tensors into the output queue.
+
+* **streaming** (Fig. 3): an endless producer whose instantaneous rate the
+  :class:`ComputeAutoscaler` matches to GPU consumption by splitting and
+  merging the pool's compute proclets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.computeproclet import Task, TaskSource
+from ...sim import Event
+from ...units import KiB
+
+
+class BatchSource(TaskSource):
+    """Shared chunk dispenser for the batch preprocessing run.
+
+    Members *pull* chunks of the image range on demand, so load balances
+    itself: a worker on a slow/contended machine simply takes fewer
+    chunks (equivalent to work stealing, which is what a task queue over
+    sharded threads gives the real system)."""
+
+    def __init__(self, stage: "PreprocessStage", lo: int, hi: int,
+                 chunk_elems: int):
+        self.stage = stage
+        self._next = lo
+        self.hi = hi
+        self.chunk_elems = chunk_elems
+        self.outstanding = 0
+        self.dispatched = 0
+        self.done: Event = stage.qs.sim.event()
+
+    def pull(self, ctx):
+        yield ctx.cpu(1e-6)  # dispatcher bookkeeping
+        if self._next >= self.hi:
+            return None
+        lo = self._next
+        hi = min(lo + self.chunk_elems, self.hi)
+        self._next = hi
+        self.outstanding += 1
+        self.dispatched += 1
+        return Task(key=(lo, hi), fn=self._chunk_fn(lo, hi))
+
+    def _chunk_fn(self, lo: int, hi: int):
+        stage = self.stage
+
+        def fn(ctx, _task):
+            reader = stage.vector.reader(lo, hi)
+            while True:
+                batch = yield from reader.next_batch(ctx)
+                if batch is None:
+                    break
+                for key, cpu_cost in batch:
+                    yield ctx.cpu(cpu_cost)
+                    stage.images_done += 1
+                    if stage.out_queue is not None:
+                        yield stage.out_queue.push(
+                            ("batch", key), stage.output_bytes, ctx=ctx)
+            self.outstanding -= 1
+            if (self._next >= self.hi and self.outstanding == 0
+                    and not self.done.triggered):
+                self.done.succeed(stage.images_done)
+
+        return fn
+
+
+class PreprocessStage:
+    """The CPU stage: sharded-vector images -> preprocessed batches."""
+
+    def __init__(self, qs, vector, out_queue, name: str = "preproc",
+                 output_bytes: float = 64 * KiB,
+                 workers: Optional[int] = None, parallelism: int = 1,
+                 chunk_elems: Optional[int] = None):
+        self.qs = qs
+        self.vector = vector
+        self.out_queue = out_queue
+        self.name = name
+        self.output_bytes = output_bytes
+        self.parallelism = parallelism
+        self.chunk_elems = chunk_elems
+        if workers is None:
+            # Default: one single-thread worker per core in the cluster.
+            workers = max(1, int(qs.cluster.total_cores))
+        self.workers = workers
+        self.pool = None
+        self.images_done = 0
+
+    # -- batch mode (Fig. 2) ----------------------------------------------------
+    def run_batch(self) -> Event:
+        """Preprocess every image once; event fires at completion.
+
+        Spawns the worker pool lazily so workers start pulling only once
+        the dataset is in place."""
+        chunk = self.chunk_elems
+        if chunk is None:
+            # ~20 chunks per worker keeps the self-balancing tail under a
+            # few percent at any dataset size.
+            chunk = max(1, len(self.vector) // (self.workers * 20))
+        source = BatchSource(self, 0, len(self.vector), chunk)
+        self.pool = self.qs.compute_pool(
+            name=self.name, parallelism=self.parallelism,
+            source=source, initial_members=self.workers,
+        )
+        return source.done
+
+    def stop(self) -> Event:
+        if self.pool is None:
+            ev = self.qs.sim.event()
+            ev.succeed()
+            return ev
+        return self.pool.stop()
+
+
+class StreamingSource(TaskSource):
+    """Endless preprocessing tasks cycling over the image vector.
+
+    Each task reads one image from its memory proclet (charged), burns
+    its preprocessing CPU, and pushes one batch into the queue.  Shared
+    by every member of the pool, so splits (§3.3) immediately add
+    production capacity.
+    """
+
+    def __init__(self, qs, vector, out_queue,
+                 output_bytes: float = 16 * KiB,
+                 cpu_per_batch: Optional[float] = None):
+        self.qs = qs
+        self.vector = vector
+        self.out_queue = out_queue
+        self.output_bytes = output_bytes
+        self.cpu_per_batch = cpu_per_batch
+        self._cursor = 0
+        self.batches_produced = 0
+        self.stopped = False
+
+    def pull(self, ctx):
+        if self.stopped:
+            return None
+        index = self._cursor % len(self.vector)
+        self._cursor += 1
+        task = Task(key=index, fn=self._make_fn(index))
+        return task
+        yield  # pull itself costs nothing; the task carries the work
+
+    def _make_fn(self, index: int):
+        def fn(ctx, _task):
+            cpu_cost = yield self.vector.get(index, ctx=ctx)
+            if self.cpu_per_batch is not None:
+                cpu_cost = self.cpu_per_batch
+            yield ctx.cpu(cpu_cost)
+            yield self.out_queue.push(("batch", index), self.output_bytes,
+                                      ctx=ctx)
+            self.batches_produced += 1
+
+        return fn
+
+
+class StreamingPreprocess:
+    """Fig. 3's producer: an autoscaled pool over a StreamingSource."""
+
+    def __init__(self, qs, vector, out_queue, cpu_per_batch: float,
+                 name: str = "stream-preproc", initial_members: int = 1,
+                 max_members: Optional[int] = None,
+                 output_bytes: float = 16 * KiB, demand_fn=None):
+        from ...core.splitmerge import ComputeAutoscaler
+
+        self.qs = qs
+        self.source = StreamingSource(qs, vector, out_queue,
+                                      output_bytes=output_bytes,
+                                      cpu_per_batch=cpu_per_batch)
+        self.pool = qs.compute_pool(name=name, parallelism=1,
+                                    source=self.source,
+                                    initial_members=initial_members)
+        self.autoscaler = ComputeAutoscaler(
+            qs, self.pool, out_queue,
+            nominal_task_rate=1.0 / cpu_per_batch,
+            min_members=1, max_members=max_members,
+            demand_fn=demand_fn,
+        )
+
+    @property
+    def members(self) -> int:
+        return self.pool.size
+
+    def stop(self) -> Event:
+        self.autoscaler.stop()
+        self.source.stopped = True
+        return self.pool.stop()

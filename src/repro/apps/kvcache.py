@@ -1,0 +1,149 @@
+"""An elastic in-memory cache over memory proclets.
+
+The paper's introduction motivates fungibility with exactly this
+workload: an AWS Lambda user "might use it only as an in-memory data
+cache that requires little CPU" [InfiniCache, 60] — yet the cloud makes
+them rent bundled CPU.  Built on memory proclets, the cache consumes
+*only* DRAM (plus negligible cycles), spreads across whatever machines
+have free memory, and keeps shrinking/growing per-machine as the
+local/global schedulers move its shards.
+
+The cache enforces a byte budget with CLOCK-style eviction batched per
+shard (second-chance bits live with the data, so eviction is a local
+operation on each memory proclet).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.memproclet import MemoryProclet
+from ..runtime import Payload
+from ..sim import Event
+from ..units import MiB, US
+
+_OP_CPU = 0.3 * US
+
+
+class CacheShardProclet(MemoryProclet):
+    """Memory proclet with second-chance (CLOCK) eviction support."""
+
+    def __init__(self):
+        super().__init__()
+        self._referenced: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def cs_get(self, ctx, key):
+        yield ctx.cpu(_OP_CPU)
+        entry = self._objects.get(key)
+        if entry is None:
+            self.misses += 1
+            return Payload(None, nbytes=0.0)
+        self._referenced[key] = True
+        self.hits += 1
+        nbytes, value = entry
+        return Payload(value, nbytes=nbytes)
+
+    def cs_put(self, ctx, key, nbytes: float, value: Any):
+        yield from self.mp_put(ctx, key, nbytes, value)
+        self._referenced[key] = True
+
+    def cs_evict(self, ctx, target_bytes: float):
+        """Free at least *target_bytes* using the CLOCK second chance."""
+        yield ctx.cpu(_OP_CPU * max(1, self.object_count))
+        freed = 0.0
+        # First pass: clear reference bits, evict unreferenced entries.
+        for _pass in range(2):
+            if freed >= target_bytes:
+                break
+            for key in list(self._keys):
+                if freed >= target_bytes:
+                    break
+                if self._referenced.get(key, False):
+                    self._referenced[key] = False
+                    continue
+                entry = self._objects.pop(key)
+                self._keys.remove(key)
+                self._referenced.pop(key, None)
+                self.heap_free(entry[0])
+                freed += entry[0]
+                self.evictions += 1
+        return freed
+
+
+class ElasticCache:
+    """A byte-budgeted cache namespace spread over cache shards."""
+
+    def __init__(self, qs, name: str = "cache",
+                 budget_bytes: float = 256 * MiB, shards: int = 4):
+        if budget_bytes <= 0:
+            raise ValueError("budget must be positive")
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.qs = qs
+        self.name = name
+        self.budget_bytes = float(budget_bytes)
+        self.shards = []
+        for i in range(shards):
+            proclet = CacheShardProclet()
+            ref = qs.spawn(proclet, name=f"{name}.{i}")
+            self.shards.append(ref)
+        self.puts = 0
+        self.gets = 0
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, key: Any):
+        return self.shards[hash(key) % len(self.shards)]
+
+    # -- API -------------------------------------------------------------------
+    def get(self, key: Any, ctx=None) -> Event:
+        """Event value: the cached object or ``None`` on a miss."""
+        self.gets += 1
+        ref = self._route(key)
+        if ctx is not None:
+            return ctx.call(ref, "cs_get", key)
+        return ref.call("cs_get", key)
+
+    def put(self, key: Any, value: Any, nbytes: float, ctx=None) -> Event:
+        """Insert; triggers shard-local eviction if over budget."""
+        self.puts += 1
+        ref = self._route(key)
+        ev = (ctx.call(ref, "cs_put", key, nbytes, value, req_bytes=nbytes)
+              if ctx is not None
+              else ref.call("cs_put", key, nbytes, value))
+        ev.subscribe(lambda _e: self._maybe_evict())
+        return ev
+
+    def _maybe_evict(self) -> None:
+        over = self.used_bytes - self.budget_bytes
+        if over <= 0:
+            return
+        # Ask the fullest shard to shed the overage.
+        fullest = max(self.shards, key=lambda r: r.proclet.heap_bytes)
+        fullest.call("cs_evict", over)
+
+    # -- stats --------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        return sum(r.proclet.heap_bytes for r in self.shards)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = sum(r.proclet.hits for r in self.shards)
+        misses = sum(r.proclet.misses for r in self.shards)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def evictions(self) -> int:
+        return sum(r.proclet.evictions for r in self.shards)
+
+    def shard_machines(self):
+        return [r.machine for r in self.shards]
+
+    def destroy(self) -> None:
+        for ref in self.shards:
+            self.qs.runtime.destroy(ref)
+        self.shards.clear()

@@ -1,0 +1,81 @@
+"""A latency-critical request service (the HIGH-priority tenant).
+
+Fig. 1's premise is that machines host latency-critical services whose
+idle cycles others should harvest *without hurting them*.  This app
+makes that claim measurable: Poisson request arrivals served at HIGH
+priority, with per-request latency recorded — run it with and without a
+filler underneath and compare the tail.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster import Machine, Priority
+from ..metrics import Summary
+from ..units import US
+
+
+class LatencyService:
+    """Open-loop request service at HIGH priority on one machine."""
+
+    def __init__(self, machine: Machine, arrival_rate: float,
+                 service_cpu: float = 500 * US,
+                 concurrency: Optional[int] = None,
+                 name: str = "service", rng_stream: str = "service"):
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if service_cpu <= 0:
+            raise ValueError("service_cpu must be positive")
+        self.machine = machine
+        self.arrival_rate = arrival_rate
+        self.service_cpu = service_cpu
+        #: Max requests in service simultaneously (thread pool size).
+        self.concurrency = (int(machine.cpu.cores) if concurrency is None
+                            else concurrency)
+        self.name = name
+        self.rng = machine.sim.random.stream(rng_stream)
+        self.latencies: List[float] = []
+        self.requests_done = 0
+        self._running = False
+
+    @property
+    def offered_load(self) -> float:
+        """Mean cores of demand (arrival_rate x service_cpu)."""
+        return self.arrival_rate * self.service_cpu
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("service already started")
+        self._running = True
+        self.machine.sim.process(self._arrivals(),
+                                 name=f"{self.name}.arrivals")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _arrivals(self) -> Generator:
+        sim = self.machine.sim
+        while self._running:
+            yield sim.timeout(self.rng.expovariate(self.arrival_rate))
+            if not self._running:
+                return
+            sim.process(self._serve(sim.now), name=f"{self.name}.req")
+
+    def _serve(self, arrived_at: float) -> Generator:
+        sim = self.machine.sim
+        item = self.machine.cpu.run(
+            work=self.service_cpu, threads=1.0,
+            priority=Priority.HIGH, name=f"{self.name}.req",
+        )
+        yield item.done
+        self.requests_done += 1
+        self.latencies.append(sim.now - arrived_at)
+
+    def latency_summary(self, since_index: int = 0) -> Summary:
+        return Summary.of(self.latencies[since_index:])
+
+    def __repr__(self) -> str:
+        return (f"<LatencyService {self.name!r} on {self.machine.name} "
+                f"rate={self.arrival_rate:g}/s "
+                f"load={self.offered_load:.2f} cores>")

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Runs any of the paper's experiments or the ablation suite with
+adjustable parameters, printing the same paper-comparable report the
+benchmark harness records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps.dnn import DatasetSpec
+from .units import MiB
+
+
+def _cmd_fig1(args) -> int:
+    from .experiments import fig1_filler
+
+    config = fig1_filler.Fig1Config(duration=args.duration,
+                                    seed=args.seed)
+    fungible = fig1_filler.run_fig1(config)
+    static = fig1_filler.run_fig1(
+        fig1_filler.Fig1Config(duration=args.duration, seed=args.seed,
+                               fungible=False))
+    print(fig1_filler.report(fungible, static))
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .experiments import fig2_imbalance
+
+    if args.full_scale:
+        dataset = DatasetSpec()
+    else:
+        dataset = DatasetSpec(count=args.images, mean_bytes=1 * MiB,
+                              mean_cpu=0.1)
+    rows = fig2_imbalance.run_fig2(dataset=dataset, seed=args.seed)
+    print(fig2_imbalance.report(rows))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from .experiments import fig3_gpu_adapt
+
+    config = fig3_gpu_adapt.Fig3Config(duration=args.duration,
+                                       seed=args.seed)
+    print(fig3_gpu_adapt.report(fig3_gpu_adapt.run_fig3(config)))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from .experiments import ablations
+
+    print(ablations.report_all())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import sweep_burst
+
+    print(sweep_burst.report(sweep_burst.run_sweep()))
+    return 0
+
+
+def _cmd_all(args) -> int:
+    """Regenerate every figure and ablation; optionally write a file."""
+    from .experiments import ablations, fig1_filler, fig2_imbalance
+    from .experiments import fig3_gpu_adapt
+
+    sections = []
+    fungible, static = fig1_filler.run_fig1_both()
+    sections.append(fig1_filler.report(fungible, static))
+    dataset = (DatasetSpec() if args.full_scale
+               else DatasetSpec(count=1200, mean_bytes=1 * MiB,
+                                mean_cpu=0.1))
+    sections.append(fig2_imbalance.report(
+        fig2_imbalance.run_fig2(dataset=dataset)))
+    sections.append(fig3_gpu_adapt.report(fig3_gpu_adapt.run_fig3()))
+    sections.append(ablations.report_all())
+    text = ("\n\n" + "=" * 72 + "\n\n").join(sections)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"\n[report written to {args.out}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quicksand (HotOS '23) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("fig1", help="filler migration experiment")
+    p1.add_argument("--duration", type=float, default=0.2,
+                    help="measured window in virtual seconds")
+    p1.add_argument("--seed", type=int, default=0)
+    p1.set_defaults(fn=_cmd_fig1)
+
+    p2 = sub.add_parser("fig2", help="imbalanced-machines table")
+    p2.add_argument("--images", type=int, default=1200,
+                    help="dataset size (default: 10x-reduced scale)")
+    p2.add_argument("--full-scale", action="store_true",
+                    help="use the paper's 12000-image scale")
+    p2.add_argument("--seed", type=int, default=0)
+    p2.set_defaults(fn=_cmd_fig2)
+
+    p3 = sub.add_parser("fig3", help="GPU-adaptation experiment")
+    p3.add_argument("--duration", type=float, default=1.6)
+    p3.add_argument("--seed", type=int, default=0)
+    p3.set_defaults(fn=_cmd_fig3)
+
+    pa = sub.add_parser("ablations", help="run all DESIGN.md ablations")
+    pa.set_defaults(fn=_cmd_ablations)
+
+    ps = sub.add_parser("sweep",
+                        help="EXT-SWEEP: fungibility gain vs burst period")
+    ps.set_defaults(fn=_cmd_sweep)
+
+    pall = sub.add_parser("all", help="regenerate every figure + ablation")
+    pall.add_argument("--out", default=None,
+                      help="also write the report to this file")
+    pall.add_argument("--full-scale", action="store_true")
+    pall.set_defaults(fn=_cmd_all)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

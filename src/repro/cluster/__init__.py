@@ -1,0 +1,38 @@
+"""Simulated cluster substrate: machines, CPU/memory/NIC/GPU/storage, fabric."""
+
+from .cluster import Cluster
+from .cpu import Cpu, Priority
+from .gpu import GpuPool
+from .machine import Machine
+from .memory import Memory, OutOfMemory
+from .network import Fabric
+from .nic import Nic
+from .storagedev import OutOfStorage, StorageDevice
+from .topology import (
+    ClusterSpec,
+    GpuSpec,
+    MachineSpec,
+    NetworkSpec,
+    StorageSpec,
+    symmetric_cluster,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Cpu",
+    "Fabric",
+    "GpuPool",
+    "GpuSpec",
+    "Machine",
+    "MachineSpec",
+    "Memory",
+    "NetworkSpec",
+    "Nic",
+    "OutOfMemory",
+    "OutOfStorage",
+    "Priority",
+    "StorageDevice",
+    "StorageSpec",
+    "symmetric_cluster",
+]

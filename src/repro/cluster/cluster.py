@@ -1,0 +1,50 @@
+"""Cluster assembly: spec -> simulator + machines + fabric + metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..metrics import MetricsRecorder
+from ..sim import Simulator
+from .machine import Machine
+from .network import Fabric
+from .topology import ClusterSpec
+
+
+class Cluster:
+    """A fully-instantiated simulated cluster."""
+
+    def __init__(self, spec: ClusterSpec,
+                 sim: Optional[Simulator] = None):
+        self.spec = spec
+        self.sim = sim if sim is not None else Simulator(seed=spec.seed)
+        self.metrics = MetricsRecorder(self.sim)
+        self.machines: List[Machine] = [
+            Machine(self.sim, i, mspec, self.metrics)
+            for i, mspec in enumerate(spec.machines)
+        ]
+        self._by_name: Dict[str, Machine] = {
+            m.name: m for m in self.machines
+        }
+        self.fabric = Fabric(self.sim, spec.network, self.metrics)
+
+    def machine(self, name_or_id) -> Machine:
+        """Look up a machine by name or integer id."""
+        if isinstance(name_or_id, int):
+            return self.machines[name_or_id]
+        return self._by_name[name_or_id]
+
+    @property
+    def total_cores(self) -> float:
+        return sum(m.cpu.cores for m in self.machines)
+
+    @property
+    def total_free_memory(self) -> float:
+        return sum(m.memory.free for m in self.machines)
+
+    def run(self, until=None, until_event=None):
+        """Convenience passthrough to the simulator's event loop."""
+        return self.sim.run(until=until, until_event=until_event)
+
+    def __repr__(self) -> str:
+        return f"<Cluster {len(self.machines)} machines t={self.sim.now:.4f}s>"

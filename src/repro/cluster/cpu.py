@@ -1,0 +1,89 @@
+"""Per-machine CPU model.
+
+A machine's cores form one fluid capacity shared under strict priority —
+this mirrors Caladan-style core reallocation, where a latency-critical
+(HIGH) app instantly reclaims cores from best-effort (NORMAL/LOW) work.
+Quicksand proclets run at NORMAL; the phased antagonist in Fig. 1 runs at
+HIGH; harvest-style background work would run at LOW.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from ..sim import FluidItem, FluidScheduler, Simulator
+
+
+class Priority(IntEnum):
+    """CPU priority classes (lower value preempts higher)."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+class Cpu:
+    """The CPU complex of one machine."""
+
+    def __init__(self, sim: Simulator, machine_name: str, cores: float,
+                 metrics=None):
+        self.sim = sim
+        self.machine_name = machine_name
+        self.sched = FluidScheduler(sim, cores, name=f"{machine_name}.cpu")
+        self.metrics = metrics
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def cores(self) -> float:
+        return self.sched.capacity
+
+    def set_cores(self, cores: float) -> None:
+        """Resize the machine (models cores being taken on/offline)."""
+        self.sched.set_capacity(cores)
+
+    # -- work submission --------------------------------------------------------
+    def run(self, work: float, threads: float = 1.0,
+            priority: Priority = Priority.NORMAL, name: str = "",
+            owner=None) -> FluidItem:
+        """Execute *work* core-seconds using up to *threads* cores."""
+        return self.sched.submit(work=work, demand=threads,
+                                 priority=int(priority), name=name,
+                                 owner=owner)
+
+    def hold(self, threads: float, priority: Priority = Priority.NORMAL,
+             name: str = "", owner=None) -> FluidItem:
+        """Occupy up to *threads* cores until cancelled (busy loop)."""
+        return self.sched.hold(demand=threads, priority=int(priority),
+                               name=name, owner=owner)
+
+    def release(self, item: FluidItem) -> float:
+        return self.sched.cancel(item)
+
+    # -- signals ---------------------------------------------------------------
+    def free_cores(self, priority: Priority = Priority.NORMAL) -> float:
+        """Cores a new item at *priority* could obtain right now."""
+        return self.sched.free_capacity(priority=int(priority))
+
+    @property
+    def load(self) -> float:
+        return self.sched.load
+
+    def contended(self, priority: Priority = Priority.NORMAL,
+                  threshold: float = 0.05) -> bool:
+        """True when *priority*-class work would be (nearly) starved."""
+        return self.free_cores(priority) < threshold
+
+    def utilization_since(self, t0: float, integral0: float = 0.0) -> float:
+        return self.sched.utilization_since(t0, integral0)
+
+    def snapshot_integral(self) -> float:
+        """Current served-work integral, for later utilization deltas."""
+        self.sched._settle()
+        return self.sched.served_integral
+
+    def add_observer(self, fn) -> None:
+        """Observe every rate reassignment (used by local schedulers)."""
+        self.sched.add_observer(fn)
+
+    def __repr__(self) -> str:
+        return (f"<Cpu {self.machine_name} cores={self.cores:g} "
+                f"load={self.load:.2f}>")

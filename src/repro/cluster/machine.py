@@ -1,0 +1,47 @@
+"""A simulated machine: CPU complex + DRAM + NIC + optional GPUs/storage."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+from .cpu import Cpu
+from .gpu import GpuPool
+from .memory import Memory
+from .nic import Nic
+from .storagedev import StorageDevice
+from .topology import MachineSpec
+
+
+class Machine:
+    """One server in the simulated cluster."""
+
+    def __init__(self, sim: Simulator, mid: int, spec: MachineSpec,
+                 metrics=None):
+        self.sim = sim
+        self.id = mid
+        self.name = spec.name
+        self.spec = spec
+        self.cpu = Cpu(sim, spec.name, spec.cores, metrics)
+        self.memory = Memory(sim, spec.name, spec.dram_bytes, metrics)
+        self.nic = Nic(sim, spec.name, spec.nic_bandwidth, metrics)
+        self.gpus: Optional[GpuPool] = (
+            GpuPool(sim, spec.name, spec.gpus, metrics)
+            if spec.gpus.count > 0 else None
+        )
+        self.storage: Optional[StorageDevice] = (
+            StorageDevice(sim, spec.name, spec.storage, metrics)
+            if spec.storage is not None else None
+        )
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        return (f"<Machine {self.name} cores={self.cpu.cores:g} "
+                f"dram={self.memory.capacity / 2**30:.1f} GiB>")
+
+    # Machines are used as dict keys throughout the scheduler.
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Machine) and other.id == self.id

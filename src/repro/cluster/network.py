@@ -1,0 +1,78 @@
+"""The datacenter fabric connecting simulated machines.
+
+Provides two primitives the proclet runtime builds on:
+
+* :meth:`Fabric.transfer` — a bulk byte move (heap migration, prefetch
+  batches): one-way latency + tx-bandwidth contention at the sender.
+* :meth:`Fabric.rpc_cost` — the fixed round-trip cost of a small method
+  invocation, used by the runtime's remote-call path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Event, Simulator
+from .machine import Machine
+from .topology import NetworkSpec
+
+
+class Fabric:
+    """Full-bisection fabric with per-NIC bandwidth contention."""
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec, metrics=None):
+        self.sim = sim
+        self.spec = spec
+        self.metrics = metrics
+        self.total_bytes_moved = 0.0
+        self.total_transfers = 0
+
+    # -- bulk data -----------------------------------------------------------
+    def transfer(self, src: Machine, dst: Machine, nbytes: float,
+                 priority: int = 1, name: str = "") -> Event:
+        """Move *nbytes* from *src* to *dst*; returns a completion event.
+
+        Same-machine transfers are free apart from the local-call
+        overhead (data never leaves DRAM).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer: {nbytes}")
+        if src is dst:
+            return self.sim.timeout(self.spec.local_call_overhead)
+        return self.sim.process(
+            self._transfer_proc(src, dst, nbytes, priority, name),
+            name=name or f"xfer:{src.name}->{dst.name}",
+        )
+
+    def _transfer_proc(self, src: Machine, dst: Machine, nbytes: float,
+                       priority: int, name: str) -> Generator:
+        self.total_transfers += 1
+        self.total_bytes_moved += nbytes
+        # Wire latency, then serialization onto the sender's NIC.
+        yield self.sim.timeout(self.spec.latency)
+        if nbytes > 0:
+            item = src.nic.send(nbytes, priority=priority, name=name)
+            yield item.done
+        dst.nic.note_rx(nbytes)
+        if self.metrics is not None:
+            self.metrics.count("net.transfers")
+            self.metrics.count("net.bytes", nbytes)
+
+    # -- small messages -----------------------------------------------------------
+    def oneway_delay(self, req_bytes: float = 256.0) -> float:
+        """Delivery time of a small control message (no queueing model —
+        control traffic is negligible next to bulk transfers)."""
+        return self.spec.latency + self.spec.rpc_overhead \
+            + req_bytes / 1e9  # tiny serialization term
+
+    def rpc_cost(self, req_bytes: float = 256.0,
+                 resp_bytes: float = 256.0) -> float:
+        """Round-trip fixed cost of a remote method invocation."""
+        return self.oneway_delay(req_bytes) + self.oneway_delay(resp_bytes)
+
+    def message(self, src: Machine, dst: Machine,
+                nbytes: float = 256.0) -> Event:
+        """Deliver a small control message; completion = arrival at dst."""
+        if src is dst:
+            return self.sim.timeout(self.spec.local_call_overhead)
+        return self.sim.timeout(self.oneway_delay(nbytes))

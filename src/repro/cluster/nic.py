@@ -1,0 +1,49 @@
+"""Per-machine NIC model: fluid bandwidth sharing per direction.
+
+Transfers contend on the sender's TX scheduler (fair-shared, priority-
+aware).  The receive direction is tracked for utilization accounting but
+is not a second serialization point — in every experiment here traffic is
+either tx-bound or latency-bound, so the single-bottleneck approximation
+is accurate (documented in DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from ..sim import FluidItem, FluidScheduler, Simulator
+
+
+class Nic:
+    """Network interface of one machine."""
+
+    def __init__(self, sim: Simulator, machine_name: str, bandwidth: float,
+                 metrics=None):
+        if bandwidth <= 0:
+            raise ValueError(f"NIC bandwidth must be positive: {bandwidth}")
+        self.sim = sim
+        self.machine_name = machine_name
+        self.bandwidth = float(bandwidth)
+        self.tx = FluidScheduler(sim, bandwidth, name=f"{machine_name}.tx")
+        self.metrics = metrics
+        self.rx_bytes = 0.0
+        self.tx_bytes = 0.0
+
+    def send(self, nbytes: float, priority: int = 1,
+             name: str = "") -> FluidItem:
+        """Enqueue *nbytes* for transmission; the item's ``done`` event
+        fires when the last byte leaves the NIC."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self.tx_bytes += nbytes
+        return self.tx.submit(work=float(nbytes), demand=self.bandwidth,
+                              priority=priority,
+                              name=name or f"{self.machine_name}.send")
+
+    def note_rx(self, nbytes: float) -> None:
+        self.rx_bytes += nbytes
+
+    def tx_utilization_since(self, t0: float, integral0: float = 0.0) -> float:
+        return self.tx.utilization_since(t0, integral0)
+
+    def __repr__(self) -> str:
+        return (f"<Nic {self.machine_name} bw={self.bandwidth:.3g} B/s "
+                f"tx_queue={len(self.tx.items)}>")

@@ -1,0 +1,123 @@
+"""Declarative specs describing a simulated cluster.
+
+A :class:`ClusterSpec` is the single input to every experiment: it fixes
+machine shapes (cores, DRAM, NIC, GPUs) and network constants.  The
+experiment harnesses in :mod:`repro.experiments` construct the exact specs
+of the paper's setups (e.g. Fig. 2's 6-core/12-GiB + 40-core/1-GiB pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..units import GiB, US, gbps
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPUs attached to one machine.
+
+    ``batch_time`` is the virtual-time cost of training on one batch on
+    one GPU — the paper emulates GPUs exactly this way (§4: "we emulated
+    GPUs by adding a delay to consume data from the queue").
+    """
+
+    count: int = 0
+    batch_time: float = 10e-3
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError(f"negative GPU count: {self.count}")
+        if self.batch_time <= 0:
+            raise ValueError(f"batch_time must be positive: {self.batch_time}")
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Persistent storage attached to one machine."""
+
+    capacity_bytes: int = 0
+    iops: float = 100_000.0
+    read_bandwidth: float = 2 * GiB
+    write_bandwidth: float = 1 * GiB
+
+    def __post_init__(self):
+        if self.capacity_bytes < 0:
+            raise ValueError("negative storage capacity")
+        if self.iops <= 0:
+            raise ValueError("iops must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Shape of one simulated machine."""
+
+    name: str
+    cores: float
+    dram_bytes: float
+    nic_bandwidth: float = gbps(100.0)  # bytes/s
+    gpus: GpuSpec = field(default_factory=GpuSpec)
+    storage: Optional[StorageSpec] = None
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ValueError(f"machine {self.name!r} needs cores > 0")
+        if self.dram_bytes <= 0:
+            raise ValueError(f"machine {self.name!r} needs dram > 0")
+        if self.nic_bandwidth <= 0:
+            raise ValueError(f"machine {self.name!r} needs NIC bandwidth > 0")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Datacenter-fabric constants.
+
+    Defaults model a 100 Gbit/s Ethernet with a kernel-bypass stack, the
+    platform Nu/Quicksand measures on: one-way latency of a few
+    microseconds and a small fixed per-RPC CPU-side overhead.
+    """
+
+    latency: float = 5 * US          # one-way propagation + switching
+    rpc_overhead: float = 2 * US     # serialization + dispatch per message
+    local_call_overhead: float = 100e-9  # same-machine proclet call
+
+    def __post_init__(self):
+        if self.latency < 0 or self.rpc_overhead < 0:
+            raise ValueError("network constants must be non-negative")
+        if self.local_call_overhead < 0:
+            raise ValueError("local_call_overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything needed to instantiate a simulated cluster."""
+
+    machines: List[MachineSpec]
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.machines:
+            raise ValueError("a cluster needs at least one machine")
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate machine names: {names}")
+
+    @property
+    def total_cores(self) -> float:
+        return sum(m.cores for m in self.machines)
+
+    @property
+    def total_dram(self) -> float:
+        return sum(m.dram_bytes for m in self.machines)
+
+
+def symmetric_cluster(n: int, cores: float, dram_bytes: float,
+                      **kwargs) -> ClusterSpec:
+    """Convenience builder: *n* identical machines."""
+    machines = [
+        MachineSpec(name=f"m{i}", cores=cores, dram_bytes=dram_bytes)
+        for i in range(n)
+    ]
+    return ClusterSpec(machines=machines, **kwargs)

@@ -1,0 +1,12 @@
+"""Distributed thread pool and parallel computation APIs (§3.2)."""
+
+from .parallel import filter_collect, for_each, map_collect, reduce
+from .threadpool import ComputePool
+
+__all__ = [
+    "ComputePool",
+    "filter_collect",
+    "for_each",
+    "map_collect",
+    "reduce",
+]

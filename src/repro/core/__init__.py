@@ -1,0 +1,41 @@
+"""Quicksand core: resource proclets, split/merge, two-level scheduling."""
+
+from .computeproclet import ComputeProclet, Task, TaskSource
+from .config import QuicksandConfig
+from .gpuproclet import GpuProclet
+from .memproclet import DistPtr, MemoryProclet
+from .prefetch import PrefetchingReader
+from .pressure import RateEstimator, StarvationTracker
+from .quicksand import Quicksand
+from .resource import ResourceKind, ResourceProclet
+from .scheduler import (
+    AffinityTracker,
+    GlobalScheduler,
+    LocalScheduler,
+    PlacementPolicy,
+)
+from .splitmerge import ComputeAutoscaler, ShardSizeController
+from .storageproclet import StorageProclet
+
+__all__ = [
+    "AffinityTracker",
+    "ComputeAutoscaler",
+    "ComputeProclet",
+    "DistPtr",
+    "GlobalScheduler",
+    "GpuProclet",
+    "LocalScheduler",
+    "MemoryProclet",
+    "PlacementPolicy",
+    "PrefetchingReader",
+    "Quicksand",
+    "QuicksandConfig",
+    "RateEstimator",
+    "ResourceKind",
+    "ResourceProclet",
+    "ShardSizeController",
+    "StarvationTracker",
+    "StorageProclet",
+    "Task",
+    "TaskSource",
+]

@@ -1,0 +1,19 @@
+"""Two-level Quicksand scheduling: fast local reactions + slow global
+rebalancing (§5 of the paper)."""
+
+from .affinity import AffinityTracker
+from .binpack import Move, PackItem, pack_quality, plan_packing
+from .global_ import GlobalScheduler
+from .local import LocalScheduler
+from .placement import PlacementPolicy
+
+__all__ = [
+    "AffinityTracker",
+    "GlobalScheduler",
+    "LocalScheduler",
+    "Move",
+    "PackItem",
+    "PlacementPolicy",
+    "pack_quality",
+    "plan_packing",
+]

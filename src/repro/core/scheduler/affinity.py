@@ -1,0 +1,63 @@
+"""Communication-affinity tracking (§5, "How can we maintain locality?").
+
+The runtime reports every proclet-to-proclet invocation; this tracker
+keeps exponentially-decayed call counts per (caller, callee) pair.  The
+global scheduler consults it to colocate chatty proclets when resources
+permit, trading a little placement freedom for much less RPC traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class AffinityTracker:
+    """Decayed remote-call counts between proclet pairs."""
+
+    def __init__(self, sim, half_life: float = 0.1):
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive: {half_life}")
+        self.sim = sim
+        self.half_life = half_life
+        # (caller_id, callee_id) -> (decayed_count, last_update_time)
+        self._edges: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self.total_remote_calls = 0
+        self.total_local_calls = 0
+
+    def record(self, caller_id: Optional[int], callee_id: int,
+               remote: bool) -> None:
+        """Register one invocation (called from the runtime hook)."""
+        if remote:
+            self.total_remote_calls += 1
+        else:
+            self.total_local_calls += 1
+        if caller_id is None or not remote:
+            return  # only remote chatter argues for colocation
+        key = (caller_id, callee_id)
+        now = self.sim.now
+        count, last = self._edges.get(key, (0.0, now))
+        self._edges[key] = (self._decayed(count, last, now) + 1.0, now)
+
+    def weight(self, caller_id: int, callee_id: int) -> float:
+        """Current decayed remote-call count for the pair."""
+        entry = self._edges.get((caller_id, callee_id))
+        if entry is None:
+            return 0.0
+        count, last = entry
+        return self._decayed(count, last, self.sim.now)
+
+    def hottest_edges(self, top: int = 10) -> List[Tuple[int, int, float]]:
+        """The most chattering proclet pairs, for colocation decisions."""
+        now = self.sim.now
+        scored = [
+            (a, b, self._decayed(count, last, now))
+            for (a, b), (count, last) in self._edges.items()
+        ]
+        scored.sort(key=lambda e: -e[2])
+        return scored[:top]
+
+    def _decayed(self, count: float, last: float, now: float) -> float:
+        dt = now - last
+        if dt <= 0:
+            return count
+        return count * (0.5 ** (dt / self.half_life))

@@ -1,0 +1,116 @@
+"""Bin-packing placement planner (§3.3's granular-allocation argument).
+
+The paper argues granular proclets "reduce the complexity for the
+scheduler to binpack proclets onto machines [POP, 39]".  This module
+provides the packing pass the global scheduler can run instead of its
+greedy pairwise rebalance: a *sticky* first-fit-decreasing plan that
+keeps every proclet where it is unless its bin is over capacity, then
+emits the minimal set of moves to make everything fit.
+
+Pure functions over snapshots — no simulator coupling — so the planner
+is directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PackItem:
+    """One schedulable item: a proclet's demand on a single resource."""
+
+    key: Hashable
+    size: float
+    current_bin: Hashable
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"negative size for {self.key!r}")
+
+
+@dataclass(frozen=True)
+class Move:
+    """One migration the plan requires."""
+
+    key: Hashable
+    src: Hashable
+    dst: Hashable
+
+
+def plan_packing(items: List[PackItem],
+                 capacities: Dict[Hashable, float],
+                 headroom: float = 0.9) -> List[Move]:
+    """Sticky first-fit-decreasing.
+
+    Items stay in their current bin while it remains under
+    ``capacity * headroom``; overflow items (largest first) move to the
+    bin with the most remaining room.  Returns only the moves (empty
+    when everything already fits).  Items whose current bin is unknown
+    are treated as unplaced and always assigned.
+
+    Raises ``ValueError`` if the total demand cannot fit even at full
+    capacity — the caller should surface that as cluster overload rather
+    than thrash.
+    """
+    if not 0.0 < headroom <= 1.0:
+        raise ValueError(f"headroom must be in (0, 1]: {headroom}")
+    total = sum(item.size for item in items)
+    room = sum(capacities.values())
+    if total > room:
+        raise ValueError(
+            f"demand {total:g} exceeds total capacity {room:g}"
+        )
+
+    used: Dict[Hashable, float] = {b: 0.0 for b in capacities}
+    # Pass 1: sticky placement — keep items that fit where they are.
+    # Larger items claim their spot first so eviction picks small ones.
+    overflow: List[PackItem] = []
+    for item in sorted(items, key=lambda it: -it.size):
+        binid = item.current_bin
+        if binid in capacities and (
+                used[binid] + item.size <= capacities[binid] * headroom):
+            used[binid] += item.size
+            continue
+        overflow.append(item)
+
+    # Pass 2: place overflow, largest first, into the roomiest bin.
+    moves: List[Move] = []
+    for item in overflow:
+        best: Optional[Hashable] = None
+        best_room = -1.0
+        for binid, cap in capacities.items():
+            r = cap * headroom - used[binid]
+            if r >= item.size and r > best_room:
+                best, best_room = binid, r
+        if best is None:
+            # Retry ignoring headroom: correctness over comfort.
+            for binid, cap in capacities.items():
+                r = cap - used[binid]
+                if r >= item.size and r > best_room:
+                    best, best_room = binid, r
+        if best is None:
+            # Aggregate demand fits but this item does not (fragmented
+            # bins): leave it where it is — best-effort beats thrash.
+            if item.current_bin in used:
+                used[item.current_bin] += item.size
+            continue
+        used[best] += item.size
+        if best != item.current_bin:
+            moves.append(Move(key=item.key, src=item.current_bin,
+                              dst=best))
+    return moves
+
+
+def pack_quality(items: List[PackItem],
+                 capacities: Dict[Hashable, float]) -> Tuple[float, float]:
+    """(max, mean) bin utilization of the *current* placement."""
+    used: Dict[Hashable, float] = {b: 0.0 for b in capacities}
+    for item in items:
+        if item.current_bin in used:
+            used[item.current_bin] += item.size
+    utils = [used[b] / capacities[b] for b in capacities if capacities[b]]
+    if not utils:
+        return 0.0, 0.0
+    return max(utils), sum(utils) / len(utils)

@@ -1,0 +1,189 @@
+"""Slow cluster-wide rebalancing (§5: "slow global decisions that
+reflect long-term shifts in usage").
+
+Every ``global_interval`` the global scheduler:
+
+1. rebalances compute: moves compute proclets from machines whose
+   NORMAL-priority CPU demand exceeds capacity toward machines with idle
+   cores;
+2. rebalances memory: moves shards from DRAM-pressured machines toward
+   machines with headroom;
+3. colocates chatty proclet pairs reported by the affinity tracker, when
+   capacity permits.
+
+All actions go through the same migration mechanism the local scheduler
+uses; the two levels differ only in cadence and in the breadth of state
+they consult.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ...runtime import MigrationFailed, ProcletStatus
+from ..config import QuicksandConfig
+from ..resource import ResourceKind, ResourceProclet
+
+
+class GlobalScheduler:
+    """Periodic cluster-wide placement refinement."""
+
+    def __init__(self, qs, config: QuicksandConfig):
+        self.qs = qs
+        self.config = config
+        self.rounds = 0
+        self.moves = 0
+        self._process = qs.sim.process(self._loop(), name="global-sched")
+
+    def _loop(self) -> Generator:
+        while True:
+            yield self.qs.sim.timeout(self.config.global_interval)
+            self.rounds += 1
+            if self.config.global_strategy == "binpack":
+                self._rebalance_by_packing()
+            else:
+                self._rebalance_compute()
+                self._rebalance_memory()
+            self._colocate_by_affinity()
+
+    # -- binpack strategy (§3.3 / POP) -----------------------------------------
+    def _rebalance_by_packing(self) -> None:
+        from .binpack import PackItem, plan_packing
+
+        machines = self.qs.cluster.machines
+        by_name = {m.name: m for m in machines}
+
+        def apply_plan(items, capacities):
+            try:
+                moves = plan_packing(items, capacities,
+                                     headroom=self.config.binpack_headroom)
+            except ValueError:
+                return  # cluster genuinely overloaded; nothing sane to do
+            for move in moves[:self.config.binpack_max_moves]:
+                proclet = self.qs.runtime._proclets.get(move.key)
+                if (proclet is None
+                        or proclet.status is not ProcletStatus.RUNNING):
+                    continue
+                self._move(proclet, by_name[move.dst],
+                           reason="global-binpack")
+
+        mem_items = []
+        cpu_items = []
+        for m in machines:
+            for p in self.qs.runtime.proclets_on(m):
+                if not isinstance(p, ResourceProclet):
+                    continue
+                if p.status is not ProcletStatus.RUNNING:
+                    continue
+                if p.kind is ResourceKind.MEMORY:
+                    mem_items.append(PackItem(key=p.id, size=p.footprint,
+                                              current_bin=m.name))
+                elif p.kind is ResourceKind.COMPUTE:
+                    cpu_items.append(PackItem(
+                        key=p.id,
+                        size=float(getattr(p, "parallelism", 1)),
+                        current_bin=m.name))
+        apply_plan(mem_items,
+                   {m.name: m.memory.capacity for m in machines})
+        apply_plan(cpu_items, {m.name: m.cpu.cores for m in machines})
+
+    # -- compute balance -----------------------------------------------------
+    def _normal_cpu_demand(self, machine) -> float:
+        return sum(
+            it.demand for it in machine.cpu.sched.items
+            if it.priority >= 1 and isinstance(it.owner, ResourceProclet)
+        )
+
+    def _rebalance_compute(self) -> None:
+        machines = self.qs.cluster.machines
+        if len(machines) < 2:
+            return
+        ratios = [(self._normal_cpu_demand(m) / m.cpu.cores, m)
+                  for m in machines]
+        ratios.sort(key=lambda rm: rm[0])
+        low_ratio, low = ratios[0]
+        high_ratio, high = ratios[-1]
+        if high_ratio - low_ratio < self.config.cpu_imbalance_threshold:
+            return
+        if low.cpu.free_cores() < 1.0:
+            return
+        victim = self._pick_compute_victim(high)
+        if victim is not None:
+            self._move(victim, low, reason="global-cpu")
+
+    def _pick_compute_victim(self, machine) -> Optional[ResourceProclet]:
+        candidates: List[ResourceProclet] = [
+            p for p in self.qs.runtime.proclets_on(machine)
+            if isinstance(p, ResourceProclet)
+            and p.kind is ResourceKind.COMPUTE
+            and p.status is ProcletStatus.RUNNING
+        ]
+        if not candidates:
+            return None
+        # Smallest heap first: cheapest to move.
+        return min(candidates, key=lambda p: p.footprint)
+
+    # -- memory balance --------------------------------------------------------
+    def _rebalance_memory(self) -> None:
+        machines = self.qs.cluster.machines
+        if len(machines) < 2:
+            return
+        by_pressure = sorted(machines, key=lambda m: m.memory.pressure)
+        low, high = by_pressure[0], by_pressure[-1]
+        if (high.memory.pressure - low.memory.pressure
+                < self.config.memory_imbalance_threshold):
+            return
+        candidates = [
+            p for p in self.qs.runtime.proclets_on(high)
+            if isinstance(p, ResourceProclet)
+            and p.kind is ResourceKind.MEMORY
+            and p.status is ProcletStatus.RUNNING
+            and low.memory.can_fit(p.footprint)
+        ]
+        if not candidates:
+            return
+        victim = max(candidates, key=lambda p: p.footprint)
+        self._move(victim, low, reason="global-memory")
+
+    # -- affinity colocation ------------------------------------------------------
+    def _colocate_by_affinity(self) -> None:
+        for caller_id, callee_id, weight in \
+                self.qs.affinity.hottest_edges(top=5):
+            if weight < self.config.affinity_threshold:
+                break
+            caller = self.qs.runtime._proclets.get(caller_id)
+            callee = self.qs.runtime._proclets.get(callee_id)
+            if caller is None or callee is None:
+                continue
+            if caller.machine is callee.machine:
+                continue
+            if (caller.status is not ProcletStatus.RUNNING
+                    or callee.status is not ProcletStatus.RUNNING):
+                continue
+            # Move the smaller endpoint to the bigger one's machine if it
+            # fits without creating memory pressure there.
+            mover, target = sorted((caller, callee),
+                                   key=lambda p: p.footprint)[0], None
+            target = callee.machine if mover is caller else caller.machine
+            mem = target.memory
+            if (mem.used + mover.footprint) / mem.capacity \
+                    >= self.config.memory_watermark:
+                continue
+            self._move(mover, target, reason="global-affinity")
+            return  # at most one colocation per round
+
+    # -- shared -------------------------------------------------------------------------
+    def _move(self, proclet, dst, reason: str) -> None:
+        self.moves += 1
+        if self.qs.metrics is not None:
+            self.qs.metrics.count(f"sched.{reason}.moves")
+        self.qs.runtime.tracer.emit(
+            "sched-global", f"{reason}: {proclet.name} -> {dst.name}",
+        )
+        ev = self.qs.runtime.migrate(proclet, dst)
+        ev.subscribe(self._swallow_migration_failure)
+
+    @staticmethod
+    def _swallow_migration_failure(event) -> None:
+        if not event.ok and not isinstance(event.value, MigrationFailed):
+            raise event.value

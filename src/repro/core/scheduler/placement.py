@@ -1,0 +1,118 @@
+"""Placement scoring: which machine should host a resource proclet?
+
+Because resource proclets are specialized, placement reduces to scoring
+machines on a *single* resource axis — precisely the simplification the
+paper is after (§3.1): memory proclets go where DRAM is free, compute
+proclets where cores are idle, with no need to co-satisfy both on one
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ...cluster import Cluster, Machine, Priority
+
+
+class PlacementPolicy:
+    """Greedy best-fit placement over live cluster state.
+
+    The real system would consult a (slightly stale) controller view;
+    our simulated control plane reads live state, which DESIGN.md lists
+    as an approximation — the experiments' dynamics are dominated by
+    migration and data-path costs, not by control-plane staleness.
+    """
+
+    def __init__(self, cluster: Cluster, runtime=None):
+        self.cluster = cluster
+        self.runtime = runtime
+
+    def attach_runtime(self, runtime) -> None:
+        """Give the policy visibility into hosted proclets (for planned
+        compute demand)."""
+        self.runtime = runtime
+
+    # -- memory --------------------------------------------------------------
+    def best_for_memory(self, nbytes: float,
+                        exclude: Iterable[Machine] = ()) -> Optional[Machine]:
+        """Machine with the most free DRAM that fits *nbytes*."""
+        skip = set(exclude)
+        best, best_free = None, -1.0
+        for m in self.cluster.machines:
+            if m in skip:
+                continue
+            free = m.memory.free
+            if free >= nbytes and free > best_free:
+                best, best_free = m, free
+        return best
+
+    def memory_headroom(self, machine: Machine) -> float:
+        return machine.memory.free
+
+    # -- compute --------------------------------------------------------------
+    def best_for_compute(self, threads: float = 1.0,
+                         priority: Priority = Priority.NORMAL,
+                         exclude: Iterable[Machine] = ()) \
+            -> Optional[Machine]:
+        """Machine with the most idle cores at *priority*.
+
+        Returns ``None`` when no machine has meaningful idle capacity —
+        the §3.3 rule that compute proclets split "only if there are
+        enough CPU resources in the cluster".
+        """
+        skip = set(exclude)
+        best, best_free = None, 0.0
+        for m in self.cluster.machines:
+            if m in skip:
+                continue
+            free = m.cpu.free_cores(priority)
+            # Also subtract *planned* demand: compute proclets already
+            # hosted here will use their worker threads even if they are
+            # momentarily idle — without this, a burst of spawns lands
+            # every member on the same machine.
+            free = min(free, m.cpu.cores - self._planned_demand(m))
+            if free > best_free:
+                best, best_free = m, free
+        # Require at least half a core of headroom to be worth it.
+        if best is not None and best_free < min(0.5, threads * 0.5):
+            return None
+        return best
+
+    def _planned_demand(self, machine: Machine) -> float:
+        if self.runtime is None:
+            return 0.0
+        total = 0.0
+        for proclet in self.runtime.proclets_on(machine):
+            total += getattr(proclet, "parallelism", 0) or 0
+        return total
+
+    def total_free_cores(self, priority: Priority = Priority.NORMAL) -> float:
+        return sum(m.cpu.free_cores(priority) for m in self.cluster.machines)
+
+    # -- gpu ---------------------------------------------------------------------
+    def best_for_gpu(self) -> Optional[Machine]:
+        """Machine with the most idle GPUs."""
+        best, best_free = None, -1.0
+        for m in self.cluster.machines:
+            if m.gpus is None:
+                continue
+            free = m.gpus.sched.free_capacity()
+            if free > best_free:
+                best, best_free = m, free
+        return best
+
+    # -- storage -------------------------------------------------------------------
+    def best_for_storage(self, nbytes: float) -> Optional[Machine]:
+        """Machine whose storage device has the most free capacity."""
+        best, best_free = None, -1.0
+        for m in self.cluster.machines:
+            if m.storage is None:
+                continue
+            free = m.storage.free
+            if free >= nbytes and free > best_free:
+                best, best_free = m, free
+        return best
+
+    def storage_machines(self) -> Tuple[Machine, ...]:
+        return tuple(m for m in self.cluster.machines
+                     if m.storage is not None)

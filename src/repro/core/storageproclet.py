@@ -1,0 +1,98 @@
+"""Storage proclets: persistent-data proclets (capacity + IOPS).
+
+Implements the ``ReadObject(id)`` / ``WriteObject(id)`` API of §3.1.
+Object bytes live on the hosting machine's :class:`StorageDevice` — the
+proclet's DRAM heap holds only its index — so a storage proclet is cheap
+to account for in memory while consuming the device's capacity and IOPS.
+The flat-storage abstraction (:mod:`repro.storage`) spreads many storage
+proclets across devices to aggregate both sub-resources (§3.2, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..runtime import Payload
+from ..units import US
+from .resource import ResourceKind, ResourceProclet
+
+#: DRAM index entry per stored object.
+_INDEX_BYTES = 64.0
+_OP_CPU = 0.3 * US
+
+
+class StorageProclet(ResourceProclet):
+    """Keyed object store over one machine's storage device."""
+
+    kind = ResourceKind.STORAGE
+
+    def __init__(self):
+        super().__init__()
+        self._objects: Dict[Any, Tuple[float, Any]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _device(self):
+        dev = self.machine.storage
+        if dev is None:
+            raise RuntimeError(
+                f"{self.name}: machine {self.machine.name} has no storage"
+            )
+        return dev
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def stored_bytes(self) -> float:
+        return sum(nbytes for nbytes, _v in self._objects.values())
+
+    # -- proclet methods ------------------------------------------------------
+    def sp_write(self, ctx, key, nbytes: float, value: Any = None):
+        """WriteObject: reserve device capacity and pay the I/O."""
+        if nbytes < 0:
+            raise ValueError(f"negative object size: {nbytes}")
+        yield ctx.cpu(_OP_CPU)
+        device = self._device()
+        old = self._objects.get(key)
+        if old is not None:
+            device.release(old[0])
+            self.heap_free(_INDEX_BYTES)
+        device.reserve(nbytes)
+        ctx.alloc(_INDEX_BYTES)
+        yield from device.write(nbytes, priority=int(ctx.priority))
+        self._objects[key] = (float(nbytes), value)
+        self.writes += 1
+
+    def sp_read(self, ctx, key):
+        """ReadObject: pay the device I/O; remote callers also pay the wire."""
+        yield ctx.cpu(_OP_CPU)
+        entry = self._objects.get(key)
+        if entry is None:
+            raise KeyError(f"{self.name}: no object {key!r}")
+        nbytes, value = entry
+        yield from self._device().read(nbytes, priority=int(ctx.priority))
+        self.reads += 1
+        return Payload(value, nbytes=nbytes)
+
+    def sp_delete(self, ctx, key):
+        yield ctx.cpu(_OP_CPU)
+        entry = self._objects.pop(key, None)
+        if entry is None:
+            raise KeyError(f"{self.name}: no object {key!r}")
+        self._device().release(entry[0])
+        self.heap_free(_INDEX_BYTES)
+        return entry[0]
+
+    def sp_contains(self, ctx, key):
+        yield ctx.cpu(_OP_CPU)
+        return key in self._objects
+
+    def sp_stats(self, ctx):
+        yield ctx.cpu(_OP_CPU)
+        return {
+            "objects": len(self._objects),
+            "stored_bytes": self.stored_bytes,
+            "device_free": self._device().free,
+        }

@@ -1,0 +1,18 @@
+"""Sharded data structures over memory proclets (§3.2)."""
+
+from .map import ShardedMap, ShardedSet
+from .queue import QueueShardProclet, ShardedQueue
+from .sharding import BOTTOM, INDEX_ENTRY_BYTES, Shard, ShardedBase
+from .vector import ShardedVector
+
+__all__ = [
+    "BOTTOM",
+    "INDEX_ENTRY_BYTES",
+    "QueueShardProclet",
+    "Shard",
+    "ShardedBase",
+    "ShardedMap",
+    "ShardedQueue",
+    "ShardedSet",
+    "ShardedVector",
+]

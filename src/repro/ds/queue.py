@@ -1,0 +1,333 @@
+"""Sharded queue (§3.2, §4): the producer/consumer coupling element.
+
+The Fig. 2/3 pipeline connects CPU preprocessing (producers) to GPU
+training (consumers) through this queue.  Elements live in queue-shard
+memory proclets that charge DRAM for buffered data, so the queue can
+"absorb bursts in producer output by storing it in memory proclets that
+can split and migrate" (§4).  Ordering is FIFO per shard; global order is
+relaxed, as usual for distributed queues.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+from ..cluster import Machine
+from ..runtime import Payload, ProcletStatus
+from ..units import US
+from ..core.resource import ResourceKind, ResourceProclet
+
+_OP_CPU = 0.2 * US
+_EMPTY = object()
+
+
+class QueueShardProclet(ResourceProclet):
+    """One FIFO shard of a sharded queue (a memory-kind proclet)."""
+
+    kind = ResourceKind.MEMORY
+
+    def __init__(self):
+        super().__init__()
+        self._items: Deque[Tuple[float, Any]] = collections.deque()
+
+    @property
+    def length(self) -> int:
+        return len(self._items)
+
+    # -- proclet methods -----------------------------------------------------
+    def qp_push(self, ctx, nbytes: float, value: Any):
+        yield ctx.cpu(_OP_CPU)
+        ctx.alloc(nbytes)
+        self._items.append((float(nbytes), value))
+        owner = self.shard_owner
+        if owner is not None:
+            owner._note_push()
+
+    def qp_pop(self, ctx):
+        """Pop the oldest element, or the EMPTY sentinel."""
+        yield ctx.cpu(_OP_CPU)
+        if not self._items:
+            return Payload(_EMPTY, nbytes=0.0)
+        nbytes, value = self._items.popleft()
+        self.heap_free(nbytes)
+        owner = self.shard_owner
+        if owner is not None:
+            owner._note_pop()
+        return Payload(value, nbytes=nbytes)
+
+    def qp_len(self, ctx):
+        yield ctx.cpu(_OP_CPU)
+        return len(self._items)
+
+    # -- split/merge primitives (queue-specific, §3.3) --------------------------
+    def extract_back_half(self) -> Tuple[List[Tuple[float, Any]], float]:
+        n = len(self._items) // 2
+        moved = [self._items.pop() for _ in range(n)]
+        moved.reverse()
+        total = sum(nbytes for nbytes, _v in moved)
+        if total > 0:
+            self.heap_free(total)
+        return moved, total
+
+    def extract_everything(self) -> Tuple[List[Tuple[float, Any]], float]:
+        moved = list(self._items)
+        self._items.clear()
+        total = sum(nbytes for nbytes, _v in moved)
+        if total > 0:
+            self.heap_free(total)
+        return moved, total
+
+    def install_items(self, items: List[Tuple[float, Any]]) -> None:
+        total = sum(nbytes for nbytes, _v in items)
+        if total > 0:
+            self.heap_alloc(total)
+        self._items.extend(items)
+
+
+class ShardedQueue:
+    """Multi-shard FIFO connecting pipeline stages."""
+
+    def __init__(self, qs, name: str = "queue", initial_shards: int = 1,
+                 machines: Optional[List[Machine]] = None):
+        if initial_shards < 1:
+            raise ValueError("a queue needs at least one shard")
+        self.qs = qs
+        self.name = name
+        self.shards: List = []
+        self.pushed = 0
+        self.popped = 0
+        #: Times a consumer found the queue empty and had to block —
+        #: the "downstream is starving" signal for the autoscaler (§3.3).
+        self.waits = 0
+        self._rr_push = 0
+        self._rr_pop = 0
+        self._waiters: List = []
+        self._initial_shards = initial_shards
+        for i in range(initial_shards):
+            machine = machines[i % len(machines)] if machines else None
+            self._add_shard(machine)
+
+    # -- shard management ---------------------------------------------------
+    def _add_shard(self, machine: Optional[Machine] = None):
+        proclet = QueueShardProclet()
+        proclet.shard_owner = self
+        ref = self.qs.spawn(proclet, machine,
+                            name=f"{self.name}.q{len(self.shards)}")
+        self.shards.append(ref)
+        if self.qs.shard_controller is not None:
+            self.qs.shard_controller.register(ref, self)
+        return ref
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def length(self) -> int:
+        return self.pushed - self.popped
+
+    # -- producer side ----------------------------------------------------------
+    def push(self, value: Any, nbytes: float, ctx=None):
+        """Enqueue one element; returns the completion event.
+
+        Producers inside proclets push to a shard on their own machine
+        when one exists (locality); otherwise round-robin.  A shard
+        merged away between routing and execution is retried against the
+        current shard list (stale-routing semantics, as for the map).
+        """
+        from ..runtime import DeadProclet
+
+        def attempt():
+            last_exc = None
+            for _try in range(8):
+                ref = self._pick_push_shard(ctx)
+                ev = (ctx.call(ref, "qp_push", nbytes, value,
+                               req_bytes=nbytes)
+                      if ctx is not None
+                      else ref.call("qp_push", nbytes, value))
+                try:
+                    return (yield ev)
+                except DeadProclet as exc:
+                    last_exc = exc
+            raise last_exc
+
+        return self.qs.sim.process(attempt(), name=f"{self.name}.push")
+
+    def _pick_push_shard(self, ctx):
+        live = [s for s in self.shards
+                if s.proclet.status is not ProcletStatus.DEAD]
+        candidates = live or self.shards
+        if ctx is not None:
+            local = [s for s in candidates if s.machine is ctx.machine]
+            if local:
+                return min(local, key=lambda s: s.proclet.length)
+        ref = candidates[self._rr_push % len(candidates)]
+        self._rr_push += 1
+        return ref
+
+    def _note_push(self) -> None:
+        self.pushed += 1
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed()
+
+    def _note_pop(self) -> None:
+        self.popped += 1
+
+    # -- consumer side -------------------------------------------------------------
+    def pop(self, ctx=None):
+        """Dequeue one element, waiting if the queue is empty.
+
+        Returns a process event whose value is the element.
+        """
+        return self.qs.sim.process(self._pop_proc(ctx),
+                                   name=f"{self.name}.pop")
+
+    def _pop_proc(self, ctx) -> Generator:
+        from ..runtime import DeadProclet
+
+        while True:
+            # Scan shards round-robin, preferring the local one.
+            order = self._pop_order(ctx)
+            for ref in order:
+                ev = (ctx.call(ref, "qp_pop") if ctx is not None
+                      else ref.call("qp_pop"))
+                try:
+                    value = yield ev
+                except DeadProclet:
+                    continue  # shard merged away mid-scan; move on
+                if value is not _EMPTY:
+                    return value
+            # All empty: block until a push lands anywhere.
+            self.waits += 1
+            waiter = self.qs.sim.event()
+            self._waiters.append(waiter)
+            yield waiter
+
+    def _pop_order(self, ctx):
+        shards = [s for s in self.shards
+                  if s.proclet.status is not ProcletStatus.DEAD]
+        nonempty = [s for s in shards if s.proclet.length > 0]
+        candidates = nonempty or shards
+        if ctx is not None:
+            candidates = sorted(
+                candidates, key=lambda s: s.machine is not ctx.machine)
+        else:
+            self._rr_pop += 1
+            k = self._rr_pop % max(1, len(candidates))
+            candidates = candidates[k:] + candidates[:k]
+        return candidates
+
+    def try_pop(self, ctx=None):
+        """Non-blocking pop: event value is the element or ``None``."""
+        return self.qs.sim.process(self._try_pop_proc(ctx),
+                                   name=f"{self.name}.try_pop")
+
+    def _try_pop_proc(self, ctx) -> Generator:
+        from ..runtime import DeadProclet
+
+        for ref in self._pop_order(ctx):
+            ev = (ctx.call(ref, "qp_pop") if ctx is not None
+                  else ref.call("qp_pop"))
+            try:
+                value = yield ev
+            except DeadProclet:
+                continue
+            if value is not _EMPTY:
+                return value
+        return None
+
+    # -- controller protocol (oversize queue shards split, §4) ---------------------
+    def split_shard_by_id(self, proclet_id: int):
+        shard = self._ref_by_id(proclet_id)
+        if shard is None:
+            return None
+        return self.qs.sim.process(self._split_proc(shard),
+                                   name=f"{self.name}.split")
+
+    def _split_proc(self, shard) -> Generator:
+        src = shard.proclet
+        if src.status is not ProcletStatus.RUNNING or src.length < 2:
+            return None
+        gate = self.qs._block(src)
+        yield self.qs.sim.timeout(self.qs.config.split_overhead)
+        items, nbytes = src.extract_back_half()
+        dst = self.qs.placement.best_for_memory(
+            nbytes + QueueShardProclet.BASE_FOOTPRINT)
+        if dst is None:
+            src.install_items(items)
+            self.qs._unblock(src, gate)
+            return None
+        # Build the new shard fully (spawn, gate, move bytes, install)
+        # BEFORE publishing it to the shard list and the controller —
+        # otherwise the controller may see an empty registered shard and
+        # merge it away mid-split, losing the extracted items.
+        new = QueueShardProclet()
+        new.shard_owner = self
+        new_ref = self.qs.spawn(new, dst,
+                                name=f"{self.name}.q{len(self.shards)}")
+        new_gate = self.qs._block(new)
+        if dst is not src.machine:
+            yield self.qs.cluster.fabric.transfer(
+                src.machine, dst, nbytes, name=f"{self.name}.split")
+        new.install_items(items)
+        self.qs._unblock(new, new_gate)
+        self.qs._unblock(src, gate)
+        self.shards.append(new_ref)
+        if self.qs.shard_controller is not None:
+            self.qs.shard_controller.register(new_ref, self)
+        self.qs.splits += 1
+        return new_ref
+
+    def wants_merge(self, proclet_id: int) -> bool:
+        if len(self.shards) <= self._initial_shards:
+            return False
+        shard = self._ref_by_id(proclet_id)
+        return shard is not None and shard.proclet.length == 0
+
+    def merge_shard_by_id(self, proclet_id: int):
+        shard = self._ref_by_id(proclet_id)
+        if shard is None or len(self.shards) <= self._initial_shards:
+            return None
+        return self.qs.sim.process(self._merge_proc(shard),
+                                   name=f"{self.name}.merge")
+
+    def _merge_proc(self, shard) -> Generator:
+        src = shard.proclet
+        survivor = next((s for s in self.shards if s is not shard), None)
+        if survivor is None or src.status is not ProcletStatus.RUNNING:
+            return None
+        gate = self.qs._block(src)
+        yield self.qs.sim.timeout(self.qs.config.split_overhead)
+        items, nbytes = src.extract_everything()
+        if survivor.machine is not src.machine and nbytes > 0:
+            yield self.qs.cluster.fabric.transfer(
+                src.machine, survivor.machine, nbytes,
+                name=f"{self.name}.merge")
+        survivor.proclet.install_items(items)
+        self.qs._unblock(src, gate)
+        self.shards.remove(shard)
+        if self.qs.shard_controller is not None:
+            self.qs.shard_controller.unregister(shard)
+        self.qs.runtime.destroy(shard)
+        self.qs.merges += 1
+        return True
+
+    def _ref_by_id(self, proclet_id: int):
+        for ref in self.shards:
+            if ref.proclet_id == proclet_id:
+                return ref
+        return None
+
+    def destroy(self) -> None:
+        for ref in list(self.shards):
+            if self.qs.shard_controller is not None:
+                self.qs.shard_controller.unregister(ref)
+            self.qs.runtime.destroy(ref)
+        self.shards.clear()
+
+    def __repr__(self) -> str:
+        return (f"<ShardedQueue {self.name!r} shards={len(self.shards)} "
+                f"len={self.length}>")

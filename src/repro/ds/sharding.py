@@ -1,0 +1,283 @@
+"""General sharding library (§3.2).
+
+Partitions a keyed collection into disjoint key ranges, each stored in
+its own memory proclet, with an index proclet holding the routing table.
+The :class:`ShardSizeController` keeps shards inside the configured size
+band by asking the structure to split oversized shards and merge
+undersized ones; users never see shard boundaries.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..cluster import Machine
+from ..core.memproclet import MemoryProclet
+from ..runtime import ProcletRef
+
+#: Routing-table bytes per shard entry, charged to the index proclet.
+INDEX_ENTRY_BYTES = 48.0
+
+
+@functools.total_ordering
+class _Bottom:
+    """Sentinel ordered below every key (the first shard's lower bound)."""
+
+    def __lt__(self, other) -> bool:
+        return not isinstance(other, _Bottom)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Bottom)
+
+    def __hash__(self) -> int:
+        return hash("_Bottom")
+
+    def __repr__(self) -> str:
+        return "-inf"
+
+
+BOTTOM = _Bottom()
+
+
+@dataclass
+class Shard:
+    """One shard: the key range ``[lo, <next shard's lo>)``."""
+
+    lo: Any
+    ref: ProcletRef
+
+    @property
+    def proclet(self) -> MemoryProclet:
+        return self.ref.proclet
+
+
+class ShardedBase:
+    """Common machinery for range-sharded structures."""
+
+    def __init__(self, qs, name: str,
+                 initial_machine: Optional[Machine] = None):
+        self.qs = qs
+        self.name = name
+        self.shards: List[Shard] = []
+        self._los: List[Any] = []  # parallel array for bisect routing
+        # The index memory proclet: holds the shard routing table (§3.2).
+        self.index_ref = qs.spawn_memory(machine=initial_machine,
+                                         name=f"{name}.index")
+        first = self._spawn_shard(BOTTOM, initial_machine)
+        self._insert_shard(first)
+
+    # -- shard bookkeeping --------------------------------------------------
+    def _spawn_shard(self, lo: Any,
+                     machine: Optional[Machine] = None) -> Shard:
+        proclet = MemoryProclet()
+        proclet.shard_owner = self
+        ref = self.qs.spawn(proclet, machine,
+                            name=f"{self.name}.shard@{lo!r}")
+        return Shard(lo=lo, ref=ref)
+
+    def _insert_shard(self, shard: Shard) -> None:
+        idx = self._bisect(shard.lo)
+        self.shards.insert(idx, shard)
+        self._los.insert(idx, shard.lo)
+        self.index_ref.proclet.heap_alloc(INDEX_ENTRY_BYTES)
+        self._refresh_ranges()
+        if self.qs.shard_controller is not None:
+            self.qs.shard_controller.register(shard.ref, self)
+
+    def _remove_shard(self, shard: Shard) -> None:
+        idx = self.shards.index(shard)
+        del self.shards[idx]
+        del self._los[idx]
+        self.index_ref.proclet.heap_free(INDEX_ENTRY_BYTES)
+        self._refresh_ranges()
+        if self.qs.shard_controller is not None:
+            self.qs.shard_controller.unregister(shard.ref)
+
+    def _refresh_ranges(self) -> None:
+        """Push the routing table's ranges down into the shard proclets,
+        which enforce them at execution time (WrongShard on staleness)."""
+        for i, shard in enumerate(self.shards):
+            proclet = self.qs.runtime._proclets.get(shard.ref.proclet_id)
+            if proclet is None:
+                continue
+            lo = shard.lo
+            proclet.range_lo = None if isinstance(lo, _Bottom) else lo
+            proclet.range_hi = (self.shards[i + 1].lo
+                                if i + 1 < len(self.shards) else None)
+
+    def _bisect(self, key: Any) -> int:
+        """Insertion point for *key* in the lo array (BOTTOM-aware)."""
+        if isinstance(key, _Bottom):
+            return 0
+        lo_idx, hi_idx = 0, len(self._los)
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            entry = self._los[mid]
+            if isinstance(entry, _Bottom) or entry < key:
+                lo_idx = mid + 1
+            else:
+                hi_idx = mid
+        return lo_idx
+
+    def _shard_index_for(self, key: Any) -> int:
+        """Index of the shard covering *key*."""
+        idx = self._bisect(key)
+        if idx < len(self._los) and not isinstance(key, _Bottom) \
+                and self._los[idx] == key:
+            return idx
+        return max(0, idx - 1)
+
+    def _find_by_id(self, proclet_id: int) -> Optional[int]:
+        for i, shard in enumerate(self.shards):
+            if shard.ref.proclet_id == proclet_id:
+                return i
+        return None
+
+    # -- routing ------------------------------------------------------------------
+    def route(self, key: Any) -> ProcletRef:
+        """The shard ref whose range covers *key*."""
+        return self.shards[self._shard_index_for(key)].ref
+
+    def call_routed(self, key: Any, method: str, *args, ctx=None,
+                    req_bytes: float = 0.0, max_retries: int = 8):
+        """Invoke *method* on the shard covering *key*, rerouting on
+        stale routing.
+
+        A shard chosen at submit time can be merged away (DeadProclet)
+        or re-ranged by a split (WrongShard) before the invocation
+        executes — routing tables are client-side caches, as in Slicer.
+        Both outcomes are retried against the updated table.
+        Application-level ``KeyError`` etc. pass through unchanged.
+        """
+        from ..runtime import DeadProclet
+        from ..runtime.errors import WrongShard
+
+        def attempt():
+            last_exc = None
+            for _try in range(max_retries):
+                ref = self.route(key)
+                ev = (ctx.call(ref, method, *args, req_bytes=req_bytes)
+                      if ctx is not None
+                      else ref.call(method, *args, req_bytes=req_bytes))
+                try:
+                    result = yield ev
+                except (DeadProclet, WrongShard) as exc:
+                    last_exc = exc
+                    continue
+                return result
+            raise last_exc
+
+        return self.qs.sim.process(attempt(),
+                                   name=f"{self.name}.{method}")
+
+    def shard_covering(self, key: Any) -> Tuple[ProcletRef, Any]:
+        """``(shard_ref, range_end)`` — the prefetcher's routing query.
+
+        ``range_end`` is the next shard's lower bound, or ``inf`` for the
+        last shard.
+        """
+        idx = self._shard_index_for(key)
+        end = (self.shards[idx + 1].lo if idx + 1 < len(self.shards)
+               else float("inf"))
+        return self.shards[idx].ref, end
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(s.proclet.heap_bytes for s in self.shards)
+
+    @property
+    def total_objects(self) -> int:
+        return sum(s.proclet.object_count for s in self.shards)
+
+    def shard_machines(self):
+        """Multiset of machines hosting shards (placement diagnostics)."""
+        return [s.ref.machine for s in self.shards]
+
+    # -- split/merge callbacks (driven by ShardSizeController) ---------------------
+    def split_shard_by_id(self, proclet_id: int):
+        """Split the named shard; returns the split's completion event or
+        ``None`` when the shard is gone/busy."""
+        idx = self._find_by_id(proclet_id)
+        if idx is None:
+            return None
+        shard = self.shards[idx]
+        ev = self.qs.split_memory(shard.ref)
+        ev.subscribe(lambda e: self._on_split_done(e))
+        return ev
+
+    def _on_split_done(self, event) -> None:
+        if not event.ok:
+            raise event.value
+        result = event.value
+        if result is None:
+            return  # split was declined (no room anywhere)
+        split_key, new_ref = result
+        new_ref.proclet.shard_owner = self
+        self._insert_shard(Shard(lo=split_key, ref=new_ref))
+
+    def wants_merge(self, proclet_id: int) -> bool:
+        """Policy hook: may this undersized shard merge into a neighbour?"""
+        idx = self._find_by_id(proclet_id)
+        if idx is None or len(self.shards) < 2:
+            return False
+        neighbour = self._merge_partner(idx)
+        if neighbour is None:
+            return False
+        combined = (self.shards[idx].proclet.heap_bytes
+                    + neighbour.proclet.heap_bytes)
+        return combined < 0.7 * self.qs.config.max_shard_bytes
+
+    def _merge_partner(self, idx: int) -> Optional[Shard]:
+        """Prefer the left neighbour (keeps ranges contiguous)."""
+        if idx > 0:
+            return self.shards[idx - 1]
+        if idx + 1 < len(self.shards):
+            return self.shards[idx + 1]
+        return None
+
+    def merge_shard_by_id(self, proclet_id: int):
+        """Merge the named shard into a neighbour; returns the completion
+        event or ``None``."""
+        idx = self._find_by_id(proclet_id)
+        if idx is None or len(self.shards) < 2:
+            return None
+        shard = self.shards[idx]
+        partner = self._merge_partner(idx)
+        if partner is None:
+            return None
+        ev = self.qs.merge_memory(partner.ref, shard.ref)
+        ev.subscribe(lambda e: self._on_merge_done(e, shard, partner))
+        return ev
+
+    def _on_merge_done(self, event, shard: Shard, partner: Shard) -> None:
+        if not event.ok:
+            raise event.value
+        if event.value is None:
+            return  # merge was declined; leave the routing untouched
+        # The survivor absorbs the merged shard's range: when the merged
+        # shard sat to the survivor's LEFT (including the BOTTOM shard),
+        # the survivor inherits its lower bound.
+        shard_idx = self.shards.index(shard)
+        partner_idx = self.shards.index(partner)
+        if shard_idx < partner_idx:
+            partner.lo = shard.lo
+            self._los[partner_idx] = shard.lo
+        self._remove_shard(shard)
+
+    # -- teardown -----------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Destroy every shard and the index proclet."""
+        for shard in list(self.shards):
+            self._remove_shard(shard)
+            self.qs.runtime.destroy(shard.ref)
+        self.qs.runtime.destroy(self.index_ref)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"shards={len(self.shards)} bytes={self.total_bytes:.0f}>")

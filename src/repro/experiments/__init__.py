@@ -1,0 +1,34 @@
+"""Experiment harnesses regenerating every figure/table of the paper,
+plus the ablations from DESIGN.md."""
+
+from . import (
+    ablations,
+    fig1_filler,
+    fig2_imbalance,
+    fig3_gpu_adapt,
+    sweep_burst,
+)
+from .fig1_filler import Fig1Config, Fig1Result, run_fig1, run_fig1_both
+from .fig2_imbalance import Fig2Row, run_fig2, run_fig2_config
+from .fig3_gpu_adapt import Fig3Config, Fig3Result, run_fig3
+from .sweep_burst import SweepPoint, run_sweep
+
+__all__ = [
+    "Fig1Config",
+    "Fig1Result",
+    "Fig2Row",
+    "Fig3Config",
+    "Fig3Result",
+    "ablations",
+    "fig1_filler",
+    "fig2_imbalance",
+    "fig3_gpu_adapt",
+    "SweepPoint",
+    "run_fig1",
+    "run_fig1_both",
+    "run_fig2",
+    "run_fig2_config",
+    "run_fig3",
+    "run_sweep",
+    "sweep_burst",
+]

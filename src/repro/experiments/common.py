@@ -1,0 +1,58 @@
+"""Shared utilities for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def fmt_table(headers: Sequence[str], rows: List[Sequence]) -> str:
+    """Render an ASCII table (the experiments print paper-style rows)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row):
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(cells[0]), sep]
+    out.extend(line(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def fmt_series(series: List[Tuple[float, float]], t_scale: float = 1e3,
+               t_unit: str = "ms", v_fmt: str = "{:.2f}",
+               max_rows: int = 50) -> str:
+    """Render a (time, value) series, downsampling long ones."""
+    if len(series) > max_rows:
+        step = len(series) / max_rows
+        series = [series[int(i * step)] for i in range(max_rows)]
+    return "\n".join(
+        f"  t={t * t_scale:9.3f} {t_unit}  {v_fmt.format(v)}"
+        for t, v in series
+    )
+
+
+def equilibrium_latency(trace: List[Tuple[float, int]], toggle_time: float,
+                        target: int, hold: float = 0.005) -> float:
+    """Time from *toggle_time* until the traced value reaches *target*
+    and holds it for at least *hold* seconds.
+
+    Returns ``inf`` when equilibrium is never reached.  This is the
+    measurement behind Fig. 3's "10-15 ms to reach new equilibriums".
+    """
+    reached = None
+    for t, v in trace:
+        if t < toggle_time:
+            continue
+        if v == target:
+            if reached is None:
+                reached = t
+            elif t - reached >= hold:
+                return reached - toggle_time
+        else:
+            reached = None
+    if reached is not None:
+        return reached - toggle_time
+    return float("inf")

@@ -1,0 +1,20 @@
+"""Virtual-time metrics: series, counters, gauges, summaries."""
+
+from .dashboard import machine_rows, snapshot
+from .recorder import MetricsRecorder
+from .stats import Summary, mean, percentile, stddev
+from .timeseries import Counter, Gauge, TimeSeries, merge_series
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRecorder",
+    "Summary",
+    "TimeSeries",
+    "machine_rows",
+    "mean",
+    "merge_series",
+    "percentile",
+    "snapshot",
+    "stddev",
+]

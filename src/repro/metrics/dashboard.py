@@ -1,0 +1,65 @@
+"""Cluster state snapshots for humans.
+
+``snapshot(qs)`` renders a utilization table — per-machine cores, DRAM,
+proclet census — plus control-plane totals.  Examples and interactive
+debugging use it; nothing in the control path depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..units import fmt_bytes
+
+
+def machine_rows(qs) -> List[Dict]:
+    """Structured per-machine stats (the data behind :func:`snapshot`)."""
+    rows = []
+    for m in qs.cluster.machines:
+        proclets = qs.runtime.proclets_on(m)
+        kinds: Dict[str, int] = {}
+        for p in proclets:
+            kind = getattr(getattr(p, "kind", None), "value", "other")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        rows.append({
+            "machine": m.name,
+            "cores": m.cpu.cores,
+            "cpu_load": m.cpu.load,
+            "dram_used": m.memory.used,
+            "dram_capacity": m.memory.capacity,
+            "proclets": len(proclets),
+            "kinds": kinds,
+            "gpus": m.gpus.count if m.gpus else 0,
+            "storage_used": m.storage.used if m.storage else None,
+        })
+    return rows
+
+
+def snapshot(qs) -> str:
+    """Human-readable cluster state at the current virtual time."""
+    from ..experiments.common import fmt_table
+
+    rows = []
+    for r in machine_rows(qs):
+        kinds = ",".join(f"{k}:{n}" for k, n in sorted(r["kinds"].items()))
+        rows.append((
+            r["machine"],
+            f"{r['cpu_load']:.1f}/{r['cores']:g}",
+            f"{fmt_bytes(r['dram_used'])}/"
+            f"{fmt_bytes(r['dram_capacity'])}",
+            r["proclets"],
+            kinds or "-",
+        ))
+    table = fmt_table(
+        ["machine", "cpu (used/total)", "dram", "proclets", "kinds"],
+        rows,
+    )
+    rt = qs.runtime
+    totals = (
+        f"t={qs.sim.now:.4f}s  proclets={rt.proclet_count}  "
+        f"migrations={rt.migration.migrations_completed}  "
+        f"splits={qs.splits}  merges={qs.merges}  "
+        f"calls local/remote={rt.local_calls}/{rt.remote_calls}  "
+        f"forwarded={rt.locator.forwarding_hops}"
+    )
+    return table + "\n" + totals

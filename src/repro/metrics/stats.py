@@ -1,0 +1,71 @@
+"""Small statistics helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def mean(xs: Sequence[float]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def stddev(xs: Sequence[float]) -> float:
+    if len(xs) < 2:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, ``p`` in [0, 100]."""
+    if not xs:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    data = sorted(xs)
+    if len(data) == 1:
+        return data[0]
+    k = (len(data) - 1) * (p / 100.0)
+    lo = math.floor(k)
+    hi = math.ceil(k)
+    if lo == hi or data[lo] == data[hi]:
+        # Short-circuit equal neighbours: the interpolation formula can
+        # wobble by one ulp and break percentile monotonicity.
+        return data[int(k)]
+    return data[lo] * (hi - k) + data[hi] * (k - lo)
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample set."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, xs: Sequence[float]) -> "Summary":
+        if not xs:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        data: List[float] = sorted(xs)
+        return cls(
+            count=len(data),
+            mean=mean(data),
+            stddev=stddev(data),
+            minimum=data[0],
+            p50=percentile(data, 50),
+            p90=percentile(data, 90),
+            p99=percentile(data, 99),
+            maximum=data[-1],
+        )
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.6g} p50={self.p50:.6g} "
+                f"p90={self.p90:.6g} p99={self.p99:.6g} max={self.maximum:.6g}")

@@ -1,0 +1,182 @@
+"""Virtual-time metric primitives: time series, counters, gauges.
+
+All experiment output in this reproduction (goodput curves, proclet
+counts, utilization) is recorded through these types so the harnesses in
+:mod:`repro.experiments` can bucketize and print them uniformly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"non-monotonic sample in {self.name!r}: {t} < {self.times[-1]}"
+            )
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= t < t1``."""
+        lo = bisect.bisect_left(self.times, t0)
+        hi = bisect.bisect_left(self.times, t1)
+        out = TimeSeries(self.name)
+        out.times = self.times[lo:hi]
+        out.values = self.values[lo:hi]
+        return out
+
+    def value_at(self, t: float, default: float = 0.0) -> float:
+        """Step-function interpolation: the last sample at or before *t*."""
+        idx = bisect.bisect_right(self.times, t) - 1
+        if idx < 0:
+            return default
+        return self.values[idx]
+
+    def bucket_sums(self, t0: float, t1: float,
+                    width: float) -> List[Tuple[float, float]]:
+        """Sum of sample values per bucket of *width* seconds.
+
+        Useful for event-count series (e.g. work units completed) where
+        each sample's value is an increment.
+        """
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        nbuckets = max(1, int(round((t1 - t0) / width)))
+        sums = [0.0] * nbuckets
+        lo = bisect.bisect_left(self.times, t0)
+        for i in range(lo, len(self.times)):
+            t = self.times[i]
+            if t >= t1:
+                break
+            b = min(nbuckets - 1, int((t - t0) / width))
+            sums[b] += self.values[i]
+        return [(t0 + (i + 0.5) * width, sums[i]) for i in range(nbuckets)]
+
+    def bucket_means(self, t0: float, t1: float,
+                     width: float) -> List[Tuple[float, float]]:
+        """Time-weighted mean of a step-function series per bucket."""
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out = []
+        t = t0
+        while t < t1 - 1e-12:
+            end = min(t1, t + width)
+            out.append(((t + end) / 2.0, self.mean_over(t, end)))
+            t = end
+        return out
+
+    def mean_over(self, t0: float, t1: float) -> float:
+        """Time-weighted mean treating the series as a step function."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        cur_t = t0
+        cur_v = self.value_at(t0)
+        lo = bisect.bisect_right(self.times, t0)
+        for i in range(lo, len(self.times)):
+            t = self.times[i]
+            if t >= t1:
+                break
+            total += cur_v * (t - cur_t)
+            cur_t, cur_v = t, self.values[i]
+        total += cur_v * (t1 - cur_t)
+        return total / (t1 - t0)
+
+
+class Counter:
+    """A monotonically increasing event counter with optional history."""
+
+    __slots__ = ("name", "total", "series")
+
+    def __init__(self, name: str = "", keep_history: bool = True):
+        self.name = name
+        self.total = 0.0
+        self.series: Optional[TimeSeries] = (
+            TimeSeries(name) if keep_history else None
+        )
+
+    def add(self, t: float, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.total += amount
+        if self.series is not None:
+            self.series.record(t, amount)
+
+    def rate_over(self, t0: float, t1: float) -> float:
+        """Events per second in [t0, t1) (requires history)."""
+        if self.series is None:
+            raise ValueError(f"counter {self.name!r} keeps no history")
+        if t1 <= t0:
+            return 0.0
+        w = self.series.window(t0, t1)
+        return sum(w.values) / (t1 - t0)
+
+
+class Gauge:
+    """A piecewise-constant quantity with a time integral.
+
+    ``set`` changes the level; :meth:`integral_over` gives the exact
+    time-weighted integral, used for utilization accounting.
+    """
+
+    __slots__ = ("name", "series", "_level")
+
+    def __init__(self, name: str = "", initial: float = 0.0, t0: float = 0.0):
+        self.name = name
+        self.series = TimeSeries(name)
+        self.series.record(t0, initial)
+        self._level = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, t: float, value: float) -> None:
+        if value != self._level:
+            self.series.record(t, value)
+            self._level = value
+
+    def adjust(self, t: float, delta: float) -> None:
+        self.set(t, self._level + delta)
+
+    def integral_over(self, t0: float, t1: float) -> float:
+        return self.series.mean_over(t0, t1) * (t1 - t0)
+
+    def mean_over(self, t0: float, t1: float) -> float:
+        return self.series.mean_over(t0, t1)
+
+
+def merge_series(series: Sequence[TimeSeries], name: str = "") -> TimeSeries:
+    """Merge several series into one, sorted by time."""
+    merged = sorted(
+        ((t, v) for s in series for t, v in s),
+        key=lambda tv: tv[0],
+    )
+    out = TimeSeries(name)
+    for t, v in merged:
+        out.record(t, v)
+    return out

@@ -1,0 +1,34 @@
+"""Nu substrate: proclets, location-transparent refs, fast migration."""
+
+from .context import Context
+from .errors import (
+    DeadProclet,
+    InvalidPlacement,
+    MachineFailed,
+    MigrationFailed,
+    RuntimeFault,
+    UnknownMethod,
+)
+from .locator import Locator
+from .migration import MigrationConfig, MigrationEngine
+from .proclet import Proclet, ProcletStatus
+from .ref import Payload, ProcletRef
+from .runtime import NuRuntime
+
+__all__ = [
+    "Context",
+    "DeadProclet",
+    "InvalidPlacement",
+    "Locator",
+    "MachineFailed",
+    "MigrationConfig",
+    "MigrationEngine",
+    "MigrationFailed",
+    "NuRuntime",
+    "Payload",
+    "Proclet",
+    "ProcletRef",
+    "ProcletStatus",
+    "RuntimeFault",
+    "UnknownMethod",
+]

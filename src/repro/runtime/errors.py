@@ -1,0 +1,32 @@
+"""Runtime-level exception types."""
+
+from __future__ import annotations
+
+
+class RuntimeFault(Exception):
+    """Base class for proclet-runtime errors."""
+
+
+class DeadProclet(RuntimeFault):
+    """A method was invoked on a destroyed proclet."""
+
+
+class UnknownMethod(RuntimeFault):
+    """The invoked method does not exist on the target proclet."""
+
+
+class MigrationFailed(RuntimeFault):
+    """A migration could not complete (e.g. destination out of memory)."""
+
+
+class InvalidPlacement(RuntimeFault):
+    """A proclet could not be placed (no machine fits its footprint)."""
+
+
+class MachineFailed(RuntimeFault):
+    """The machine hosting a proclet failed while work was in flight."""
+
+
+class WrongShard(RuntimeFault):
+    """The key no longer belongs to this shard (it split or merged after
+    the caller routed).  Clients retry against refreshed routing."""

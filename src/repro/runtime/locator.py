@@ -1,0 +1,76 @@
+"""Proclet location service.
+
+Maps proclet ids to machines.  Like Nu, the authoritative table is
+complemented by **per-machine caches**: a remote invocation uses the
+caller machine's cached location and, when the proclet has moved since,
+pays a forwarding hop to the new host before the cache is refreshed.
+Migrations do not invalidate caches eagerly (that would be a broadcast);
+staleness is resolved lazily on the next call, exactly once per
+(machine, moved proclet) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import Machine
+
+
+class Locator:
+    """Authoritative proclet -> machine mapping with lazy caches."""
+
+    def __init__(self):
+        self._table: Dict[int, Machine] = {}
+        self._by_machine: Dict[Machine, set] = {}
+        # (caller_machine, proclet_id) -> believed location
+        self._caches: Dict[Tuple[Machine, int], Machine] = {}
+        self.forwarding_hops = 0
+
+    def place(self, proclet_id: int, machine: Machine) -> None:
+        """Record the initial placement of a proclet."""
+        if proclet_id in self._table:
+            raise ValueError(f"proclet #{proclet_id} already placed")
+        self._table[proclet_id] = machine
+        self._by_machine.setdefault(machine, set()).add(proclet_id)
+
+    def move(self, proclet_id: int, dst: Machine) -> None:
+        """Update the mapping after a migration."""
+        src = self._table[proclet_id]
+        self._by_machine[src].discard(proclet_id)
+        self._table[proclet_id] = dst
+        self._by_machine.setdefault(dst, set()).add(proclet_id)
+
+    def remove(self, proclet_id: int) -> None:
+        machine = self._table.pop(proclet_id)
+        self._by_machine[machine].discard(proclet_id)
+        self._caches = {
+            key: loc for key, loc in self._caches.items()
+            if key[1] != proclet_id
+        }
+
+    def lookup(self, proclet_id: int) -> Machine:
+        return self._table[proclet_id]
+
+    # -- cached lookups (the remote-invocation path) -----------------------
+    def cached_lookup(self, caller: Machine, proclet_id: int) -> Machine:
+        """Where *caller* believes the proclet lives (may be stale)."""
+        key = (caller, proclet_id)
+        believed = self._caches.get(key)
+        if believed is None:
+            believed = self._table[proclet_id]
+            self._caches[key] = believed
+        return believed
+
+    def note_forwarded(self, caller: Machine, proclet_id: int) -> Machine:
+        """Record that *caller*'s cache was stale; refresh and return
+        the authoritative location."""
+        self.forwarding_hops += 1
+        actual = self._table[proclet_id]
+        self._caches[(caller, proclet_id)] = actual
+        return actual
+
+    def proclets_on(self, machine: Machine) -> List[int]:
+        return sorted(self._by_machine.get(machine, ()))
+
+    def __len__(self) -> int:
+        return len(self._table)

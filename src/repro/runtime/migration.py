@@ -1,0 +1,133 @@
+"""Proclet migration: the mechanism that makes applications fungible.
+
+Timeline (matching Nu's design, §2 of the paper):
+
+1. mark the proclet MIGRATING — new invocations block on a gate;
+2. detach its running CPU work items from the source machine (threads
+   pause, their remaining work is preserved);
+3. reserve DRAM at the destination (abort cleanly if it cannot fit);
+4. copy the heap over the fabric (tx-bandwidth contention applies) plus
+   a fixed control overhead;
+5. release source DRAM, flip the locator entry;
+6. reattach CPU items at the destination and open the gate.
+
+With the default constants a proclet with 10 MiB of heap migrates in
+about one millisecond over a 100 Gbit/s NIC, matching the number the
+paper quotes for Nu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..cluster import Machine, OutOfMemory
+from ..units import US
+from .errors import MigrationFailed
+from .proclet import Proclet, ProcletStatus
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Tunable constants of the migration mechanism."""
+
+    #: Control-plane cost paid before the copy (pause, unmap, messages).
+    fixed_overhead: float = 50 * US
+    #: Control-plane cost paid after the copy (remap, resume, update).
+    resume_overhead: float = 50 * US
+
+    def __post_init__(self):
+        if self.fixed_overhead < 0 or self.resume_overhead < 0:
+            raise ValueError("migration overheads must be non-negative")
+
+
+class MigrationEngine:
+    """Executes proclet migrations for the runtime."""
+
+    def __init__(self, runtime, config: MigrationConfig = MigrationConfig()):
+        self.runtime = runtime
+        self.config = config
+        self.migrations_started = 0
+        self.migrations_completed = 0
+        self.migrations_failed = 0
+
+    def migrate(self, proclet: Proclet, dst: Machine):
+        """Start migrating *proclet* to *dst*; returns the completion
+        process event (value: migration latency in seconds)."""
+        return self.runtime.sim.process(
+            self._migrate_proc(proclet, dst),
+            name=f"migrate:{proclet.name}",
+        )
+
+    def _migrate_proc(self, proclet: Proclet, dst: Machine) -> Generator:
+        sim = self.runtime.sim
+        src = proclet.machine
+        if proclet.status is ProcletStatus.DEAD:
+            raise MigrationFailed(f"{proclet!r} is dead")
+        if proclet.status is ProcletStatus.MIGRATING:
+            raise MigrationFailed(f"{proclet!r} is already migrating")
+        if dst is src:
+            return 0.0
+
+        self.migrations_started += 1
+        t0 = sim.now
+        proclet._status = ProcletStatus.MIGRATING
+        proclet._migration_gate = sim.event()
+
+        # Pause: detach running CPU work (threads freeze mid-computation).
+        paused = list(proclet._active_cpu)
+        for item in paused:
+            if item.active:
+                item._sched.detach(item)
+
+        def _abort():
+            for item in paused:
+                if not item.active and not item.done.triggered:
+                    src.cpu.sched.attach(item)
+            proclet._status = ProcletStatus.RUNNING
+            gate, proclet._migration_gate = proclet._migration_gate, None
+            gate.succeed()
+
+        # Reserve at destination before copying (fail fast on OOM).
+        try:
+            dst.memory.reserve(proclet.footprint)
+        except OutOfMemory as exc:
+            self.migrations_failed += 1
+            _abort()
+            raise MigrationFailed(str(exc)) from exc
+
+        yield sim.timeout(self.config.fixed_overhead)
+        xfer = self.runtime.fabric.transfer(
+            src, dst, proclet.footprint, name=f"mig:{proclet.name}",
+        )
+        yield xfer
+        yield sim.timeout(self.config.resume_overhead)
+
+        # Commit: move accounting and location.
+        src.memory.release(proclet.footprint)
+        proclet._machine = dst
+        self.runtime.locator.move(proclet.id, dst)
+
+        # Resume threads at the destination.
+        for item in paused:
+            if not item.active and not item.done.triggered:
+                dst.cpu.sched.attach(item)
+
+        proclet._status = ProcletStatus.RUNNING
+        proclet.migrations += 1
+        gate, proclet._migration_gate = proclet._migration_gate, None
+        gate.succeed()
+
+        latency = sim.now - t0
+        self.migrations_completed += 1
+        m = self.runtime.metrics
+        if m is not None:
+            m.count("runtime.migrations")
+            m.observe("runtime.migration.latency", latency)
+            m.observe("runtime.migration.bytes", proclet.footprint)
+        self.runtime.tracer.emit(
+            "migration", f"{proclet.name} {src.name}->{dst.name}",
+            bytes=int(proclet.footprint), latency_us=round(latency * 1e6, 1),
+        )
+        proclet.on_migrated(src, dst)
+        return latency

@@ -1,0 +1,83 @@
+"""Location-transparent proclet references.
+
+A :class:`ProcletRef` is the only handle application code ever holds to a
+proclet.  All interaction goes through :meth:`call` / :meth:`tell`, so
+the runtime is free to migrate the target between invocations (§3.1:
+"Quicksand's runtime provides location transparency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim import Event
+
+
+@dataclass(frozen=True)
+class Payload:
+    """A method return value with an explicit wire size.
+
+    Returning ``Payload(value, nbytes)`` from a proclet method makes the
+    runtime charge a bulk transfer of *nbytes* back to a remote caller
+    (e.g. reading a 200 KiB image from a memory proclet).  Local callers
+    pay nothing, which is exactly the locality benefit Quicksand's
+    scheduler chases.
+    """
+
+    value: Any
+    nbytes: float = 0.0
+
+
+class ProcletRef:
+    """Handle to a (possibly remote, possibly moving) proclet."""
+
+    __slots__ = ("runtime", "proclet_id", "_name")
+
+    def __init__(self, runtime, proclet_id: int, name: str = ""):
+        self.runtime = runtime
+        self.proclet_id = proclet_id
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def call(self, method: str, *args, caller_machine=None,
+             req_bytes: float = 0.0, **kwargs) -> Event:
+        """Invoke *method*; returns the completion event.
+
+        Driver code (outside any proclet) typically calls this with the
+        default ``caller_machine=None``; proclet methods should prefer
+        ``ctx.call`` which fills in their own machine for the local/remote
+        cost decision.
+        """
+        return self.runtime.invoke(self, method, *args,
+                                   caller_machine=caller_machine,
+                                   req_bytes=req_bytes, **kwargs)
+
+    def tell(self, method: str, *args, **kwargs) -> Event:
+        """Fire-and-forget invocation (result event returned but the
+        caller is not expected to wait on it)."""
+        return self.call(method, *args, **kwargs)
+
+    # -- introspection (simulation-side, not part of the app-facing API) ----
+    @property
+    def proclet(self):
+        """The underlying proclet object (simulator's omniscient view)."""
+        return self.runtime.get_proclet(self.proclet_id)
+
+    @property
+    def machine(self):
+        return self.runtime.locator.lookup(self.proclet_id)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ProcletRef)
+                and other.proclet_id == self.proclet_id
+                and other.runtime is self.runtime)
+
+    def __hash__(self) -> int:
+        return hash((id(self.runtime), self.proclet_id))
+
+    def __repr__(self) -> str:
+        return f"<ProcletRef #{self.proclet_id} {self._name!r}>"

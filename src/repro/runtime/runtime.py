@@ -1,0 +1,251 @@
+"""The Nu runtime: spawning, invoking, and migrating proclets.
+
+This is the substrate layer the paper builds Quicksand on (§2): a
+distributed runtime spanning all machines that makes proclet method
+invocation location-transparent and migration fast.  The Quicksand layer
+(:mod:`repro.core`) adds resource-specialized proclets, adaptive
+split/merge, and the two-level scheduler on top.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..cluster import Cluster, Machine, Priority
+from ..sim import Process
+from .context import Context
+from .errors import DeadProclet, UnknownMethod
+from .locator import Locator
+from .migration import MigrationConfig, MigrationEngine
+from .proclet import Proclet, ProcletStatus
+from .ref import Payload, ProcletRef
+
+
+class NuRuntime:
+    """Distributed proclet runtime over a simulated cluster."""
+
+    def __init__(self, cluster: Cluster,
+                 migration_config: MigrationConfig = MigrationConfig(),
+                 location_caching: bool = True):
+        #: Nu-style per-machine location caches with lazy forwarding.
+        #: Disable for an always-consistent control plane (ablations).
+        self.location_caching = location_caching
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.fabric = cluster.fabric
+        self.metrics = cluster.metrics
+        from ..trace import Tracer
+
+        self.tracer = Tracer(self.sim)
+        self.locator = Locator()
+        self.migration = MigrationEngine(self, migration_config)
+        self._proclets: Dict[int, Proclet] = {}
+        self._next_id = 0
+        self.local_calls = 0
+        self.remote_calls = 0
+        self._heap_listeners: List[Callable[[Proclet], None]] = []
+        #: Called as fn(caller_proclet_id_or_None, callee_id, remote: bool)
+        #: on every invocation — feeds the affinity tracker.
+        self._invocation_listeners: List[Callable] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def spawn(self, proclet: Proclet, machine: Machine,
+              name: str = "") -> ProcletRef:
+        """Place *proclet* on *machine* and return its reference.
+
+        Charges the proclet's footprint against the machine's DRAM;
+        raises :class:`repro.cluster.OutOfMemory` if it cannot fit.
+        Runs the proclet's ``on_start`` hook as its first invocation.
+        """
+        if proclet._id is not None:
+            raise ValueError(f"{proclet!r} was already spawned")
+        machine.memory.reserve(proclet.footprint)
+        pid = self._next_id
+        self._next_id += 1
+        proclet._runtime = self
+        proclet._id = pid
+        proclet._name = name or f"{type(proclet).__name__}#{pid}"
+        proclet._machine = machine
+        proclet._status = ProcletStatus.RUNNING
+        self._proclets[pid] = proclet
+        self.locator.place(pid, machine)
+        if self.metrics is not None:
+            self.metrics.count("runtime.spawns")
+        ref = ProcletRef(self, pid, proclet._name)
+        if type(proclet).on_start is not Proclet.on_start:
+            self.invoke(ref, "on_start", caller_machine=machine)
+        return ref
+
+    def destroy(self, ref: ProcletRef) -> None:
+        """Tear down a proclet, releasing its DRAM immediately."""
+        proclet = self._proclets.get(ref.proclet_id)
+        if proclet is None or proclet._status is ProcletStatus.DEAD:
+            return  # destroy is idempotent
+        proclet._machine.memory.release(proclet.footprint)
+        proclet._status = ProcletStatus.DEAD
+        self.locator.remove(proclet.id)
+        del self._proclets[proclet.id]
+        if self.metrics is not None:
+            self.metrics.count("runtime.destroys")
+
+    # -- lookup ----------------------------------------------------------------
+    def get_proclet(self, proclet_id: int) -> Proclet:
+        proclet = self._proclets.get(proclet_id)
+        if proclet is None:
+            raise DeadProclet(f"proclet #{proclet_id} does not exist")
+        return proclet
+
+    def proclets_on(self, machine: Machine) -> List[Proclet]:
+        return [self._proclets[pid]
+                for pid in self.locator.proclets_on(machine)]
+
+    @property
+    def proclet_count(self) -> int:
+        return len(self._proclets)
+
+    # -- invocation -------------------------------------------------------------
+    def invoke(self, ref: ProcletRef, method: str, *args,
+               caller_machine: Optional[Machine] = None,
+               caller_proclet_id: Optional[int] = None,
+               priority: Priority = Priority.NORMAL,
+               req_bytes: float = 0.0, **kwargs) -> Process:
+        """Invoke *method* on the proclet behind *ref*.
+
+        Returns a process event whose value is the method's return value.
+        Colocated caller -> cheap function call; remote caller -> RPC
+        round trip (plus bulk transfers for ``req_bytes`` and any
+        :class:`Payload` response).  Invocations issued while the target
+        is migrating block until the migration completes (§3.3).
+        """
+        return self.sim.process(
+            self._invoke_proc(ref, method, args, kwargs, caller_machine,
+                              caller_proclet_id, priority, req_bytes),
+            name=f"call:{ref.name}.{method}",
+        )
+
+    def _invoke_proc(self, ref: ProcletRef, method: str, args, kwargs,
+                     caller_machine: Optional[Machine],
+                     caller_proclet_id: Optional[int], priority: Priority,
+                     req_bytes: float) -> Generator:
+        proclet = self.get_proclet(ref.proclet_id)
+
+        # Block while the target is mid-migration (possibly repeatedly).
+        while proclet._status is ProcletStatus.MIGRATING:
+            yield proclet._migration_gate
+        if proclet._status is ProcletStatus.DEAD:
+            raise DeadProclet(f"{ref!r} was destroyed")
+
+        target = proclet.machine
+        # Where does the caller *believe* the proclet lives?  With
+        # location caching the request first travels to the believed
+        # host and pays a forwarding hop when the proclet has moved
+        # since (Nu's lazy cache-refresh protocol).
+        believed = target
+        if (self.location_caching and caller_machine is not None):
+            believed = self.locator.cached_lookup(caller_machine,
+                                                  proclet.id)
+        remote = caller_machine is not None and (
+            caller_machine is not target or believed is not target)
+        for listener in self._invocation_listeners:
+            listener(caller_proclet_id, proclet.id, remote)
+        spec = self.fabric.spec
+        if remote:
+            self.remote_calls += 1
+            hops = []
+            if believed is not caller_machine:
+                hops.append((caller_machine, believed))
+            if believed is not target:
+                # Stale cache: the believed host forwards to the actual
+                # one and the caller's cache is refreshed.
+                hops.append((believed, target))
+                self.locator.note_forwarded(caller_machine, proclet.id)
+            for src, dst in hops:
+                yield self.sim.timeout(self.fabric.oneway_delay())
+                if req_bytes > 0 and src is not dst:
+                    yield self.fabric.transfer(src, dst, req_bytes,
+                                               priority=int(priority),
+                                               name=f"req:{method}")
+        else:
+            self.local_calls += 1
+            yield self.sim.timeout(spec.local_call_overhead)
+
+        fn = getattr(proclet, method, None)
+        if fn is None or not callable(fn):
+            raise UnknownMethod(f"{type(proclet).__name__}.{method}")
+
+        ctx = Context(self, proclet, priority)
+        proclet._inflight += 1
+        try:
+            result = fn(ctx, *args, **kwargs)
+            if inspect.isgenerator(result):
+                result = yield from result
+        finally:
+            proclet._inflight -= 1
+
+        resp_bytes = 0.0
+        if isinstance(result, Payload):
+            resp_bytes = result.nbytes
+            result = result.value
+
+        if remote:
+            # The proclet may have moved while executing; the response
+            # flows from wherever it lives now.
+            source = proclet.machine if proclet._status is not \
+                ProcletStatus.DEAD else target
+            yield self.sim.timeout(self.fabric.oneway_delay())
+            if resp_bytes > 0 and caller_machine is not source:
+                yield self.fabric.transfer(source, caller_machine, resp_bytes,
+                                           priority=int(priority),
+                                           name=f"resp:{method}")
+        return result
+
+    # -- migration ----------------------------------------------------------------
+    def migrate(self, ref_or_proclet, dst: Machine) -> Process:
+        """Migrate a proclet to *dst*; returns the completion event
+        (value: migration latency in seconds)."""
+        proclet = (ref_or_proclet if isinstance(ref_or_proclet, Proclet)
+                   else self.get_proclet(ref_or_proclet.proclet_id))
+        return self.migration.migrate(proclet, dst)
+
+    # -- failure injection --------------------------------------------------------
+    def fail_machine(self, machine: Machine) -> List[Proclet]:
+        """Crash *machine*: every hosted proclet dies, its DRAM is gone,
+        and work in flight there fails with :class:`MachineFailed`.
+
+        Models fail-stop node loss for fault-injection tests; returns
+        the proclets that were lost.  The rest of the cluster keeps
+        running (granular fault isolation, §5).
+        """
+        from .errors import MachineFailed
+
+        lost = self.proclets_on(machine)
+        exc = MachineFailed(f"machine {machine.name} failed")
+        for proclet in lost:
+            proclet._status = ProcletStatus.DEAD
+            gate = proclet._migration_gate
+            if gate is not None and not gate.triggered:
+                proclet._migration_gate = None
+                gate.succeed()  # blocked callers re-check and see DEAD
+            self.locator.remove(proclet.id)
+            del self._proclets[proclet.id]
+        # Fail all CPU work on the machine (method bodies observe it).
+        machine.cpu.sched.fail_all(exc)
+        machine.nic.tx.fail_all(exc)
+        # The machine's DRAM contents are gone.
+        machine.memory.release(machine.memory.used)
+        if self.metrics is not None:
+            self.metrics.count("runtime.machine_failures")
+        return lost
+
+    # -- heap-change notifications (split/merge controller hook) -----------------
+    def on_heap_change(self, fn: Callable[[Proclet], None]) -> None:
+        self._heap_listeners.append(fn)
+
+    def on_invocation(self, fn: Callable) -> None:
+        """Subscribe to every invocation (affinity-tracking hook)."""
+        self._invocation_listeners.append(fn)
+
+    def _notify_heap_change(self, proclet: Proclet) -> None:
+        for fn in self._heap_listeners:
+            fn(proclet)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (virtual time, fluid resources)."""
+
+from .errors import (
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+    UnboundResource,
+)
+from .events import AllOf, AnyOf, Event, Timeout
+from .fluid import FluidItem, FluidScheduler
+from .process import Process
+from .rand import RandomStreams
+from .simulator import Simulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "EventAlreadyTriggered",
+    "FluidItem",
+    "FluidScheduler",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Timeout",
+    "UnboundResource",
+]

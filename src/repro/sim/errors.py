@@ -1,0 +1,35 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch this to clean up or to react to
+    preemption; ``cause`` carries the interrupter's reason.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class UnboundResource(SimulationError):
+    """An operation referenced a resource item not currently submitted."""

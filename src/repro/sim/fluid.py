@@ -1,0 +1,344 @@
+"""Fluid-flow scheduler: the core trick enabling ms-granularity simulation.
+
+Real Quicksand relies on Caladan-style core reallocation at microsecond
+granularity.  Simulating every scheduling quantum would be prohibitively
+slow in Python, so instead we model continuous *work* served at
+*rates*: the scheduler assigns each active item a service rate (strict
+priority across classes, max-min fair water-filling within a class, each
+item capped by its ``demand``) and only emits events when the rate vector
+changes or an item completes.  Preemption at any time granularity falls
+out for free: when a high-priority item arrives, lower classes' rates drop
+(possibly to zero) instantly.
+
+The same abstraction serves three substrates:
+
+* CPU: capacity = cores, demand = threads an item can use;
+* NIC: capacity = bytes/s, items are transfers;
+* storage: capacity = IOPS, items are I/O batches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from .errors import UnboundResource
+from .events import Event
+from .simulator import Simulator
+
+_EPS = 1e-12
+#: Work remaining below this is considered complete (guards float drift).
+_DONE_TOL = 1e-9
+
+
+class FluidItem:
+    """One unit of continuous work being served by a :class:`FluidScheduler`.
+
+    Attributes
+    ----------
+    remaining:
+        Work left, in capacity-seconds (e.g. core-seconds, bytes).
+        ``math.inf`` denotes a *hold* that only ends when cancelled.
+    demand:
+        Maximum rate this item can absorb (e.g. number of runnable
+        threads for CPU, link rate for NIC).
+    priority:
+        Lower value = served first.  Strict across classes.
+    rate:
+        Current assigned service rate (managed by the scheduler).
+    done:
+        Event that succeeds (with the item) when work reaches zero.
+    """
+
+    __slots__ = ("name", "demand", "priority", "remaining", "rate", "done",
+                 "submitted_at", "started_at", "finished_at", "_sched",
+                 "owner")
+
+    def __init__(self, sched: "FluidScheduler", name: str, work: float,
+                 demand: float, priority: int, owner=None):
+        self.name = name
+        self.demand = float(demand)
+        self.priority = int(priority)
+        self.remaining = float(work)
+        self.rate = 0.0
+        self.done: Event = sched.sim.event()
+        self.submitted_at = sched.sim.now
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._sched: Optional[FluidScheduler] = sched
+        self.owner = owner
+
+    @property
+    def active(self) -> bool:
+        """True while the item is attached to a scheduler."""
+        return self._sched is not None
+
+    @property
+    def starved(self) -> bool:
+        """True if attached but currently receiving no service."""
+        return self._sched is not None and self.rate <= _EPS
+
+    def queueing_delay(self, now: float) -> float:
+        """Time since submission without any service (the §5 signal)."""
+        if self.started_at is not None:
+            return 0.0
+        return now - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (f"<FluidItem {self.name!r} prio={self.priority} "
+                f"rate={self.rate:.3g} remaining={self.remaining:.3g}>")
+
+
+class FluidScheduler:
+    """Strict-priority, max-min-fair rate scheduler over one capacity."""
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "fluid"):
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        self.sim = sim
+        self.name = name
+        self._capacity = float(capacity)
+        self._items: List[FluidItem] = []
+        self._last_update = sim.now
+        self._epoch = 0
+        # Integral of served rate over time, total and per priority class.
+        self.served_integral = 0.0
+        self.served_by_priority: Dict[int, float] = {}
+        self._observers: List[Callable[["FluidScheduler"], None]] = []
+
+    # -- configuration ------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change total capacity (e.g. cores taken offline)."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        self._settle()
+        self._capacity = float(capacity)
+        self._reassign()
+
+    def add_observer(self, fn: Callable[["FluidScheduler"], None]) -> None:
+        """Call *fn(self)* after every rate reassignment."""
+        self._observers.append(fn)
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, work: float, demand: float = 1.0, priority: int = 1,
+               name: str = "", owner=None) -> FluidItem:
+        """Submit *work* capacity-seconds; returns the tracking item."""
+        if work < 0:
+            raise ValueError(f"negative work: {work}")
+        if demand <= 0:
+            raise ValueError(f"demand must be positive: {demand}")
+        item = FluidItem(self, name or f"{self.name}-item", work, demand,
+                         priority, owner=owner)
+        if work <= _DONE_TOL:
+            item._sched = None
+            item.remaining = 0.0
+            item.finished_at = self.sim.now
+            item.done.succeed(item)
+            return item
+        self._settle()
+        self._items.append(item)
+        self._reassign()
+        return item
+
+    def hold(self, demand: float, priority: int = 1, name: str = "",
+             owner=None) -> FluidItem:
+        """Submit an unbounded item that runs until cancelled."""
+        item = FluidItem(self, name or f"{self.name}-hold", math.inf, demand,
+                         priority, owner=owner)
+        self._settle()
+        self._items.append(item)
+        self._reassign()
+        return item
+
+    # -- removal --------------------------------------------------------------
+    def cancel(self, item: FluidItem) -> float:
+        """Remove *item* without completing it; returns remaining work."""
+        return self.detach(item)
+
+    def detach(self, item: FluidItem) -> float:
+        """Remove *item* preserving its remaining work (for migration).
+
+        The ``done`` event is left untriggered so the item can be
+        re-submitted elsewhere via :meth:`attach`.
+        """
+        if item._sched is not self:
+            raise UnboundResource(f"{item!r} is not attached to {self.name}")
+        self._settle()
+        self._items.remove(item)
+        item._sched = None
+        item.rate = 0.0
+        self._reassign()
+        return item.remaining
+
+    def attach(self, item: FluidItem) -> None:
+        """Re-attach a detached item (its remaining work resumes here)."""
+        if item._sched is not None:
+            raise UnboundResource(f"{item!r} is already attached")
+        if item.done.triggered:
+            raise UnboundResource(f"{item!r} already completed")
+        item._sched = self
+        self._settle()
+        self._items.append(item)
+        self._reassign()
+
+    def fail_all(self, exc: BaseException) -> None:
+        """Fail every attached item with *exc* (machine failure).
+
+        Each item's ``done`` event fails, so processes blocked on the
+        work observe the failure immediately.
+        """
+        self._settle()
+        items, self._items = self._items, []
+        for item in items:
+            item._sched = None
+            item.rate = 0.0
+            item.done.fail(exc)
+        self._reassign()
+
+    # -- tuning ---------------------------------------------------------------
+    def set_demand(self, item: FluidItem, demand: float) -> None:
+        if item._sched is not self:
+            raise UnboundResource(f"{item!r} is not attached to {self.name}")
+        if demand <= 0:
+            raise ValueError(f"demand must be positive: {demand}")
+        self._settle()
+        item.demand = float(demand)
+        self._reassign()
+
+    def set_priority(self, item: FluidItem, priority: int) -> None:
+        if item._sched is not self:
+            raise UnboundResource(f"{item!r} is not attached to {self.name}")
+        self._settle()
+        item.priority = int(priority)
+        self._reassign()
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def items(self) -> List[FluidItem]:
+        return list(self._items)
+
+    @property
+    def load(self) -> float:
+        """Sum of current service rates (<= capacity)."""
+        return sum(it.rate for it in self._items)
+
+    @property
+    def demand_total(self) -> float:
+        return sum(it.demand for it in self._items)
+
+    def free_capacity(self, priority: int = 10**9) -> float:
+        """Capacity a new item at *priority* could obtain without
+        squeezing anyone: total capacity minus the rates of items at this
+        priority or more urgent.  This is the signal placement policies
+        use ("how many idle cores does this machine have for me?")."""
+        used = sum(it.rate for it in self._items if it.priority <= priority)
+        return max(0.0, self._capacity - used)
+
+    def utilization_since(self, t0: float, integral0: float) -> float:
+        """Mean utilization in [t0, now] given a prior integral snapshot."""
+        self._settle()
+        dt = self.sim.now - t0
+        if dt <= 0 or self._capacity <= 0:
+            return 0.0
+        return (self.served_integral - integral0) / (dt * self._capacity)
+
+    # -- engine ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance every item's remaining work to the current time."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed <= 0:
+            return
+        total_rate = 0.0
+        for it in self._items:
+            if it.rate > 0 and it.remaining is not math.inf:
+                it.remaining = max(0.0, it.remaining - it.rate * elapsed)
+            total_rate += it.rate
+            if it.rate > 0:
+                per = self.served_by_priority
+                per[it.priority] = per.get(it.priority, 0.0) \
+                    + it.rate * elapsed
+        self.served_integral += total_rate * elapsed
+        self._last_update = now
+
+    def _reassign(self) -> None:
+        """Recompute rates and reschedule the next completion."""
+        remaining_cap = self._capacity
+        by_prio: Dict[int, List[FluidItem]] = {}
+        for it in self._items:
+            by_prio.setdefault(it.priority, []).append(it)
+
+        for prio in sorted(by_prio):
+            group = by_prio[prio]
+            if remaining_cap <= _EPS:
+                for it in group:
+                    it.rate = 0.0
+                continue
+            remaining_cap -= self._water_fill(group, remaining_cap)
+
+        now = self.sim.now
+        for it in self._items:
+            if it.rate > _EPS and it.started_at is None:
+                it.started_at = now
+
+        self._schedule_next_completion()
+        for obs in self._observers:
+            obs(self)
+
+    @staticmethod
+    def _water_fill(group: List[FluidItem], capacity: float) -> float:
+        """Max-min fair allocation with per-item demand caps.
+
+        Returns the capacity actually consumed.
+        """
+        pending = sorted(group, key=lambda it: it.demand)
+        cap = capacity
+        used = 0.0
+        n = len(pending)
+        for i, it in enumerate(pending):
+            share = cap / (n - i)
+            rate = min(it.demand, share)
+            it.rate = rate
+            cap -= rate
+            used += rate
+        return used
+
+    def _schedule_next_completion(self) -> None:
+        self._epoch += 1
+        epoch = self._epoch
+        eta = math.inf
+        for it in self._items:
+            if it.rate > _EPS and it.remaining is not math.inf:
+                eta = min(eta, it.remaining / it.rate)
+        if eta is math.inf:
+            return
+        self.sim.call_in(max(0.0, eta), self._on_timer, epoch)
+
+    def _on_timer(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # a reassignment superseded this timer
+        self._settle()
+        # An item is done when under a nanosecond of service remains: the
+        # absolute tolerance alone is not enough because work values can
+        # be huge (bytes), making float error exceed any fixed epsilon.
+        finished = [
+            it for it in self._items
+            if it.remaining <= max(_DONE_TOL, it.rate * 1e-9)
+        ]
+        for it in finished:
+            self._items.remove(it)
+            it._sched = None
+            it.rate = 0.0
+            it.remaining = 0.0
+            it.finished_at = self.sim.now
+        self._reassign()
+        for it in finished:
+            it.done.succeed(it)
+
+    def __repr__(self) -> str:
+        return (f"<FluidScheduler {self.name!r} cap={self._capacity:g} "
+                f"items={len(self._items)} load={self.load:g}>")

@@ -1,0 +1,122 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that *yields events* to suspend.  When a
+yielded event is processed, the process resumes with the event's value (or
+has the event's exception thrown into it).  The :class:`Process` object is
+itself an event that triggers when the generator returns, so processes
+compose: one process can ``yield`` another.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .errors import Interrupt
+from .events import Event
+
+
+class Process(Event):
+    """Drives a generator as a cooperative simulation process."""
+
+    __slots__ = ("generator", "name", "_target", "_started")
+
+    def __init__(self, sim, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "proc")
+        self._target: Optional[Event] = None
+        self._started = False
+        # Kick off on the next queue pop at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._schedule(init)
+        init.subscribe(self._resume)
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (if any)."""
+        return self._target
+
+    # -- control ----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible.
+
+        The process is detached from whatever event it was waiting on; that
+        event remains valid but will no longer resume this process.
+        Interrupting a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        if self._target is not None:
+            self._target.unsubscribe(self._resume)
+            self._target = None
+        wakeup = Event(self.sim)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        # Mark so _resume throws instead of failing the whole process
+        # when the generator does not catch it?  No: an uncaught Interrupt
+        # fails the process like any exception, which is the semantics we
+        # want for preemption-kill.
+        self.sim._schedule(wakeup)
+        wakeup.subscribe(self._resume)
+
+    # -- engine -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # A late wakeup (e.g. a second interrupt scheduled before the
+            # first one finished the process) — nothing left to resume.
+            return
+        self._started = True
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self.generator.send(event._value)
+                else:
+                    next_ev = self.generator.throw(event._value)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if not self.triggered:
+                    self.fail(exc)
+                    return
+                raise
+
+            if not isinstance(next_ev, Event):
+                err = TypeError(
+                    f"process {self.name!r} yielded {next_ev!r}; "
+                    "processes may only yield Event instances"
+                )
+                try:
+                    self.generator.throw(err)
+                except StopIteration:
+                    self.succeed(None)
+                except BaseException as exc:
+                    self.fail(exc)
+                return
+
+            if next_ev._processed:
+                # Already-processed event: continue synchronously.
+                event = next_ev
+                continue
+            self._target = next_ev
+            next_ev.subscribe(self._resume)
+            return
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,158 @@
+"""The virtual-time event loop at the heart of the reproduction.
+
+Everything in this repository — CPU scheduling, network transfers, proclet
+migration, the Quicksand controllers — executes on this single-threaded
+deterministic simulator.  Time is a ``float`` in *seconds* of virtual time;
+no wall-clock API is consulted anywhere, so runs are exactly reproducible
+given a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from .errors import StopSimulation
+from .events import NORMAL, Event, Timeout
+from .process import Process
+from .rand import RandomStreams
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial virtual time (seconds).
+    seed:
+        Master seed for the simulator's named RNG streams.
+    """
+
+    def __init__(self, start: float = 0.0, seed: int = 0):
+        self._now = float(start)
+        self._queue: list = []  # (time, priority, seq, event)
+        self._seq = 0
+        self._processed_events = 0
+        self.random = RandomStreams(seed)
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far (for diagnostics)."""
+        return self._processed_events
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires after *delay* seconds of virtual time."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn *generator* as a simulation process."""
+        return Process(self, generator, name=name)
+
+    # alias that reads better at call sites spawning background work
+    spawn = process
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from .events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from .events import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        """Enqueue *event* for processing at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq,
+                                     event))
+
+    def call_at(self, when: float, fn, *args) -> Event:
+        """Run ``fn(*args)`` at absolute virtual time *when*."""
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.subscribe(lambda _ev: fn(*args))
+        return ev
+
+    def call_in(self, delay: float, fn, *args) -> Event:
+        """Run ``fn(*args)`` after *delay* seconds."""
+        ev = self.timeout(delay)
+        ev.subscribe(lambda _ev: fn(*args))
+        return ev
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        assert when >= self._now, "event queue went backwards"
+        self._now = when
+        self._processed_events += 1
+        event._process()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None,
+            until_event: Optional[Event] = None) -> Any:
+        """Run the event loop.
+
+        ``until`` is an absolute virtual time at which to stop (the clock
+        is advanced to exactly that time).  ``until_event`` stops the loop
+        once that event has been processed and returns its value;
+        a failed ``until_event`` re-raises its exception.
+        With neither, runs until the event queue drains.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"run(until={until}) is in the past")
+
+        stop = {"hit": False}
+        if until_event is not None:
+            def _stop(_ev):
+                stop["hit"] = True
+
+            until_event.subscribe(_stop)
+
+        try:
+            while self._queue:
+                if stop["hit"]:
+                    break
+                if until is not None and self._queue[0][0] > until:
+                    break
+                self.step()
+        except StopSimulation as exc:
+            return exc.value
+
+        if until is not None and not stop["hit"]:
+            self._now = max(self._now, until)
+
+        if until_event is not None and until_event.triggered:
+            if not until_event.ok:
+                raise until_event.value
+            return until_event.value
+        return None
+
+    def stop(self, value: Any = None) -> None:
+        """Abort :meth:`run` from inside a callback or process."""
+        raise StopSimulation(value)
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self._now:.6f}s queued={len(self._queue)} "
+                f"processed={self._processed_events}>")

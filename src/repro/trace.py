@@ -1,0 +1,88 @@
+"""Structured control-plane tracing.
+
+Every consequential scheduler/runtime decision — migrations, splits,
+merges, evictions, autoscale actions — emits a :class:`TraceEvent`.
+The trace is how you debug a simulation ("why did this proclet move?")
+and how tests assert *causality* rather than just outcomes.
+
+Tracing is on by default (appends are cheap); cap the buffer with
+``max_events`` for very long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .units import fmt_time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One control-plane decision."""
+
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return (f"[{fmt_time(self.time):>12}] {self.category:<12} "
+                f"{self.message}" + (f" ({extras})" if extras else ""))
+
+
+class Tracer:
+    """Append-only, queryable control-plane trace."""
+
+    def __init__(self, sim, enabled: bool = True,
+                 max_events: Optional[int] = 100_000):
+        self.sim = sim
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, category: str, message: str, **fields) -> None:
+        if not self.enabled:
+            return
+        if self.max_events is not None \
+                and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time=self.sim.now,
+                                      category=category,
+                                      message=message, fields=fields))
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def since(self, t: float) -> List[TraceEvent]:
+        return [e for e in self.events if e.time >= t]
+
+    def grep(self, needle: str) -> List[TraceEvent]:
+        return [
+            e for e in self.events
+            if needle in e.message
+            or any(needle in str(v) for v in e.fields.values())
+        ]
+
+    def categories(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0) + 1
+        return out
+
+    def tail(self, n: int = 20) -> Iterator[TraceEvent]:
+        return iter(self.events[-n:])
+
+    def dump(self, limit: int = 50, category: Optional[str] = None) -> str:
+        events = (self.by_category(category) if category else self.events)
+        lines = [str(e) for e in events[-limit:]]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at cap)")
+        return "\n".join(lines) if lines else "(empty trace)"

@@ -1,0 +1,44 @@
+"""Unit constants and helpers used across the reproduction.
+
+All times are seconds, all sizes bytes, all rates per-second, so these
+helpers exist to keep call sites legible (``10 * MiB``, ``5 * US``).
+"""
+
+from __future__ import annotations
+
+# -- sizes (bytes) ----------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# -- times (seconds) --------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+
+# -- rates --------------------------------------------------------------------
+
+
+def gbps(value: float) -> float:
+    """Gigabits/second -> bytes/second."""
+    return value * 1e9 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit, width in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.2f} {width}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(t: float) -> str:
+    """Human-readable duration."""
+    if abs(t) >= 1.0:
+        return f"{t:.3f} s"
+    if abs(t) >= MS:
+        return f"{t / MS:.3f} ms"
+    if abs(t) >= US:
+        return f"{t / US:.3f} us"
+    return f"{t / NS:.1f} ns"

@@ -1,0 +1,88 @@
+"""Terminal plots for experiment reports.
+
+The experiments print their series as ASCII step-plots so the
+reproduction's figures are legible straight from
+``python -m repro <experiment>`` without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line bar chart of *values*."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BARS[-1] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BARS) - 1) + 0.5)
+        out.append(_BARS[max(0, min(len(_BARS) - 1, idx))])
+    return "".join(out)
+
+
+def step_plot(series: List[Tuple[float, float]], width: int = 72,
+              height: int = 10, t_unit: str = "ms",
+              t_scale: float = 1e3, label: str = "") -> str:
+    """Multi-line step plot of a (time, value) series.
+
+    The series is resampled onto *width* columns (step interpolation)
+    and rendered as *height* rows of asterisks, with axis annotations.
+    """
+    if not series:
+        return "(empty series)"
+    t0, t1 = series[0][0], series[-1][0]
+    if t1 <= t0:
+        return f"(degenerate series at t={t0})"
+    values = []
+    idx = 0
+    for col in range(width):
+        t = t0 + (t1 - t0) * col / (width - 1)
+        while idx + 1 < len(series) and series[idx + 1][0] <= t:
+            idx += 1
+        values.append(series[idx][1])
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    for r in range(height, 0, -1):
+        threshold = lo + span * (r - 0.5) / height
+        line = "".join("*" if v >= threshold else " " for v in values)
+        ylabel = f"{lo + span * r / height:8.2f} |"
+        rows.append(ylabel + line)
+    axis = " " * 9 + "+" + "-" * width
+    t_lo = f"{t0 * t_scale:.1f}{t_unit}"
+    t_hi = f"{t1 * t_scale:.1f}{t_unit}"
+    footer = " " * 10 + t_lo + " " * max(1, width - len(t_lo) -
+                                         len(t_hi)) + t_hi
+    header = [label] if label else []
+    return "\n".join(header + rows + [axis, footer])
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40, fmt: str = "{:.3g}") -> str:
+    """Horizontal ASCII histogram."""
+    if not values:
+        return "(no samples)"
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return f"all {len(values)} samples = {fmt.format(lo)}"
+    counts = [0] * bins
+    for v in values:
+        b = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[b] += 1
+    peak = max(counts)
+    out = []
+    for i, count in enumerate(counts):
+        edge = lo + (hi - lo) * i / bins
+        bar = "#" * int(count / peak * width) if peak else ""
+        out.append(f"  {fmt.format(edge):>10} | {bar} {count}")
+    return "\n".join(out)

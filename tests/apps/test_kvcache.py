@@ -1,0 +1,109 @@
+"""Tests for the elastic in-memory cache."""
+
+import pytest
+
+from repro.apps import ElasticCache
+from repro.units import KiB, MiB
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+class TestCacheBasics:
+    def test_put_get_hit(self, qs):
+        cache = ElasticCache(qs, budget_bytes=16 * MiB)
+        qs.run(until_event=cache.put("k", "value", 64 * KiB))
+        assert qs.run(until_event=cache.get("k")) == "value"
+        assert cache.hit_rate == 1.0
+
+    def test_miss_returns_none(self, qs):
+        cache = ElasticCache(qs, budget_bytes=16 * MiB)
+        assert qs.run(until_event=cache.get("ghost")) is None
+        assert cache.hit_rate == 0.0
+
+    def test_validation(self, qs):
+        with pytest.raises(ValueError):
+            ElasticCache(qs, budget_bytes=0)
+        with pytest.raises(ValueError):
+            ElasticCache(qs, shards=0)
+
+    def test_memory_charged_to_machines(self, qs):
+        used0 = sum(m.memory.used for m in qs.machines)
+        cache = ElasticCache(qs, budget_bytes=64 * MiB)
+        qs.run(until_event=cache.put("big", None, 8 * MiB))
+        used1 = sum(m.memory.used for m in qs.machines)
+        assert used1 - used0 >= 8 * MiB
+
+
+class TestEviction:
+    def test_budget_enforced(self, qs):
+        cache = ElasticCache(qs, budget_bytes=4 * MiB, shards=2)
+        for i in range(16):
+            qs.run(until_event=cache.put(f"k{i}", i, 512 * KiB))
+        qs.run(until=qs.sim.now + 0.05)
+        assert cache.used_bytes <= 4.6 * MiB  # budget + one in-flight put
+        assert cache.evictions > 0
+
+    def test_recently_used_survive(self, qs):
+        """CLOCK keeps hot keys: re-referenced entries get a second
+        chance over cold ones."""
+        cache = ElasticCache(qs, budget_bytes=3 * MiB, shards=1)
+        qs.run(until_event=cache.put("hot", "H", 1 * MiB))
+        qs.run(until_event=cache.put("cold1", None, 1 * MiB))
+        # Touch the hot key so its reference bit is set.
+        qs.run(until_event=cache.get("hot"))
+        qs.run(until_event=cache.get("hot"))
+        # Overflow: someone must go.
+        qs.run(until_event=cache.put("cold2", None, 1 * MiB))
+        qs.run(until_event=cache.put("cold3", None, 1 * MiB))
+        qs.run(until=qs.sim.now + 0.05)
+        assert qs.run(until_event=cache.get("hot")) == "H"
+
+    def test_hit_rate_tracks_working_set(self, qs):
+        cache = ElasticCache(qs, budget_bytes=32 * MiB, shards=2)
+        rng = qs.sim.random.stream("cache")
+        for i in range(50):
+            qs.run(until_event=cache.put(f"k{i % 10}", i, 256 * KiB))
+        hits_before = cache.hit_rate
+        for _ in range(100):
+            key = f"k{rng.randrange(10)}"
+            qs.run(until_event=cache.get(key))
+        assert cache.hit_rate > 0.9  # working set fits comfortably
+
+
+class TestCacheElasticity:
+    def test_shards_follow_memory_pressure(self):
+        """When its machine runs out of DRAM, the cache's shards are
+        evicted (migrated) elsewhere by the local scheduler — the cache
+        keeps serving: the intro's fungible-cache story."""
+        from repro import MachineSpec
+        from repro.units import GiB
+
+        qs = make_qs(machines=[
+            MachineSpec(name="m0", cores=8, dram_bytes=1 * GiB),
+            MachineSpec(name="m1", cores=8, dram_bytes=4 * GiB),
+        ], enable_global_scheduler=False, enable_split_merge=False)
+        cache = ElasticCache(qs, budget_bytes=512 * MiB, shards=4)
+        for i in range(16):
+            qs.run(until_event=cache.put(f"k{i}", i, 24 * MiB))
+        m0 = qs.machines[0]
+        # Foreign pressure on m0 pushes it over the watermark.
+        m0.memory.reserve(m0.memory.free * 0.97)
+        qs.run(until=qs.sim.now + 0.1)
+        # The cache still serves every key.
+        for i in range(16):
+            assert qs.run(until_event=cache.get(f"k{i}")) == i
+
+    def test_destroy_releases(self, qs):
+        used0 = sum(m.memory.used for m in qs.machines)
+        cache = ElasticCache(qs, budget_bytes=64 * MiB)
+        qs.run(until_event=cache.put("k", None, 4 * MiB))
+        cache.destroy()
+        assert sum(m.memory.used for m in qs.machines) == \
+            pytest.approx(used0)

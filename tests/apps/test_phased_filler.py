@@ -1,0 +1,131 @@
+"""Unit tests for the phased antagonist and the filler app."""
+
+import pytest
+
+from repro.apps import FillerApp, PhasedApp
+from repro.cluster import Priority
+from repro.units import MS, US
+
+from ..conftest import make_qs
+
+
+class TestPhasedApp:
+    def test_square_wave_occupies_and_releases(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0 = qs.machines[0]
+        app = PhasedApp(m0, burst=10 * MS, idle=10 * MS)
+        app.start()
+        qs.run(until=5 * MS)  # mid-burst
+        assert m0.cpu.free_cores(Priority.NORMAL) == pytest.approx(0.0)
+        qs.run(until=15 * MS)  # mid-idle
+        assert m0.cpu.free_cores(Priority.NORMAL) == pytest.approx(8.0)
+        qs.run(until=25 * MS)  # next burst
+        assert m0.cpu.free_cores(Priority.NORMAL) == pytest.approx(0.0)
+
+    def test_phase_offset_shifts_bursts(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0 = qs.machines[0]
+        app = PhasedApp(m0, burst=10 * MS, idle=10 * MS,
+                        phase_offset=10 * MS)
+        app.start()
+        qs.run(until=5 * MS)  # still in the offset window
+        assert m0.cpu.free_cores(Priority.NORMAL) == pytest.approx(8.0)
+        qs.run(until=15 * MS)
+        assert m0.cpu.free_cores(Priority.NORMAL) == pytest.approx(0.0)
+
+    def test_stop_halts_future_bursts(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0 = qs.machines[0]
+        app = PhasedApp(m0, burst=5 * MS, idle=5 * MS)
+        app.start()
+        qs.run(until=12 * MS)
+        app.stop()
+        bursts = app.bursts
+        qs.run(until=100 * MS)
+        assert app.bursts <= bursts + 1  # at most the in-flight one
+
+    def test_partial_cores(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0 = qs.machines[0]
+        PhasedApp(m0, burst=10 * MS, idle=10 * MS, cores=4.0).start()
+        qs.run(until=5 * MS)
+        assert m0.cpu.free_cores(Priority.NORMAL) == pytest.approx(4.0)
+
+    def test_validation(self):
+        qs = make_qs()
+        m0 = qs.machines[0]
+        with pytest.raises(ValueError):
+            PhasedApp(m0, burst=0.0)
+        with pytest.raises(ValueError):
+            PhasedApp(m0, phase_offset=-1.0)
+
+    def test_double_start_rejected(self):
+        qs = make_qs()
+        app = PhasedApp(qs.machines[0])
+        app.start()
+        with pytest.raises(RuntimeError):
+            app.start()
+
+
+class TestFillerApp:
+    def _quiet_qs(self):
+        return make_qs(enable_local_scheduler=False,
+                       enable_global_scheduler=False,
+                       enable_split_merge=False)
+
+    def test_fills_idle_machine_completely(self):
+        qs = self._quiet_qs()
+        filler = FillerApp(qs, proclets=8, work_unit=100 * US,
+                           machine=qs.machines[0])
+        qs.run(until=50 * MS)
+        # 8 proclets x 1 thread on 8 cores: goodput ~8 cores
+        goodput = filler.goodput_cores(10 * MS, 50 * MS)
+        assert goodput > 7.5
+
+    def test_goodput_halves_under_half_time_bursts(self):
+        qs = self._quiet_qs()
+        m0 = qs.machines[0]
+        PhasedApp(m0, burst=10 * MS, idle=10 * MS).start()
+        filler = FillerApp(qs, proclets=8, work_unit=100 * US, machine=m0)
+        qs.run(until=100 * MS)
+        goodput = filler.goodput_cores(20 * MS, 100 * MS)
+        assert 3.0 < goodput < 5.0
+
+    def test_stop_ends_work_generation(self):
+        qs = self._quiet_qs()
+        filler = FillerApp(qs, proclets=4, machine=qs.machines[0])
+        qs.run(until=10 * MS)
+        qs.run(until_event=filler.stop())
+        done = filler.units_done
+        qs.run(until=50 * MS)
+        assert filler.units_done == done
+
+    def test_proclet_state_charged(self):
+        qs = self._quiet_qs()
+        m0 = qs.machines[0]
+        used0 = m0.memory.used
+        FillerApp(qs, proclets=4, state_bytes=1024 * 1024, machine=m0)
+        assert m0.memory.used >= used0 + 4 * 1024 * 1024
+
+    def test_timeline_buckets(self):
+        qs = self._quiet_qs()
+        filler = FillerApp(qs, proclets=2, machine=qs.machines[0])
+        qs.run(until=20 * MS)
+        timeline = filler.goodput_timeline(0.0, 20 * MS, bucket=5 * MS)
+        assert len(timeline) == 4
+        assert all(v >= 0 for _t, v in timeline)
+
+    def test_validation(self):
+        qs = self._quiet_qs()
+        with pytest.raises(ValueError):
+            FillerApp(qs, proclets=0)
+        with pytest.raises(ValueError):
+            FillerApp(qs, work_unit=0.0)

@@ -1,0 +1,55 @@
+"""Edge tests for fabric messaging and cluster passthroughs."""
+
+import pytest
+
+from repro.cluster import Cluster, symmetric_cluster
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(symmetric_cluster(2, cores=4, dram_bytes=2 * GiB))
+
+
+class TestFabricMessages:
+    def test_message_pays_oneway_delay(self, cluster):
+        src, dst = cluster.machines
+        ev = cluster.fabric.message(src, dst)
+        cluster.run(until_event=ev)
+        assert cluster.sim.now >= cluster.spec.network.latency
+
+    def test_local_message_near_free(self, cluster):
+        src = cluster.machine(0)
+        ev = cluster.fabric.message(src, src)
+        cluster.run(until_event=ev)
+        assert cluster.sim.now < 1e-6
+
+    def test_rpc_cost_grows_with_payload(self, cluster):
+        small = cluster.fabric.rpc_cost(req_bytes=128, resp_bytes=128)
+        big = cluster.fabric.rpc_cost(req_bytes=10**6, resp_bytes=10**6)
+        assert big > small
+
+    def test_transfer_counters(self, cluster):
+        src, dst = cluster.machines
+        cluster.run(until_event=cluster.fabric.transfer(src, dst, 1 * MiB))
+        assert cluster.fabric.total_transfers == 1
+        assert cluster.fabric.total_bytes_moved == 1 * MiB
+        assert src.nic.tx_bytes == 1 * MiB
+
+    def test_zero_byte_transfer_completes(self, cluster):
+        src, dst = cluster.machines
+        ev = cluster.fabric.transfer(src, dst, 0)
+        cluster.run(until_event=ev)
+        assert cluster.sim.now >= cluster.spec.network.latency
+
+
+class TestClusterPassthrough:
+    def test_run_until_event_returns_value(self, cluster):
+        ev = cluster.sim.timeout(1.0, value="done")
+        assert cluster.run(until_event=ev) == "done"
+
+    def test_repr(self, cluster):
+        assert "Cluster" in repr(cluster)
+        assert "Nic" in repr(cluster.machine(0).nic)
+        assert "Memory" in repr(cluster.machine(0).memory)
+        assert "Cpu" in repr(cluster.machine(0).cpu)

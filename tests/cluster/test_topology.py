@@ -1,0 +1,64 @@
+"""Unit tests for cluster specs."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    GpuSpec,
+    MachineSpec,
+    NetworkSpec,
+    StorageSpec,
+    symmetric_cluster,
+)
+from repro.units import GiB, gbps
+
+
+class TestMachineSpec:
+    def test_valid(self):
+        m = MachineSpec(name="a", cores=8, dram_bytes=4 * GiB)
+        assert m.nic_bandwidth == gbps(100.0)
+        assert m.gpus.count == 0
+
+    @pytest.mark.parametrize("kw", [
+        dict(cores=0), dict(cores=-1),
+        dict(dram_bytes=0), dict(nic_bandwidth=0),
+    ])
+    def test_invalid(self, kw):
+        base = dict(name="a", cores=8, dram_bytes=4 * GiB)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            MachineSpec(**base)
+
+    def test_gpu_spec_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec(count=-1)
+        with pytest.raises(ValueError):
+            GpuSpec(count=1, batch_time=0)
+
+    def test_storage_spec_validation(self):
+        with pytest.raises(ValueError):
+            StorageSpec(capacity_bytes=-1)
+        with pytest.raises(ValueError):
+            StorageSpec(capacity_bytes=1, iops=0)
+
+
+class TestClusterSpec:
+    def test_totals(self):
+        spec = symmetric_cluster(3, cores=4, dram_bytes=2 * GiB)
+        assert spec.total_cores == 12
+        assert spec.total_dram == 6 * GiB
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(machines=[])
+
+    def test_duplicate_names_rejected(self):
+        m = MachineSpec(name="a", cores=1, dram_bytes=GiB)
+        with pytest.raises(ValueError):
+            ClusterSpec(machines=[m, m])
+
+    def test_network_spec_validation(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkSpec(local_call_overhead=-1)

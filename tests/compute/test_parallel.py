@@ -1,0 +1,103 @@
+"""Tests for the parallel map/reduce/filter APIs over sharded vectors."""
+
+import pytest
+
+from repro import filter_collect, for_each, map_collect, reduce
+from repro.units import KiB, MiB
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(max_shard_bytes=1 * MiB, min_shard_bytes=64 * KiB,
+                   enable_local_scheduler=False,
+                   enable_global_scheduler=False)
+
+
+@pytest.fixture
+def loaded(qs):
+    vec = qs.sharded_vector(name="data")
+    events = [vec.append(i * i, 16 * KiB) for i in range(100)]
+    qs.sim.run(until_event=qs.sim.all_of(events))
+    qs.sim.run(until=qs.sim.now + 0.05)
+    pool = qs.compute_pool(initial_members=2, parallelism=2)
+    return vec, pool
+
+
+class TestForEach:
+    def test_visits_every_element(self, qs, loaded):
+        vec, pool = loaded
+        done = for_each(pool, vec, work=1e-5, task_elems=25)
+        qs.sim.run(until_event=done)
+        assert pool.total_done == 4  # 100 elements / 25 per task
+
+    def test_emit_pushes_to_queue(self, qs, loaded):
+        vec, pool = loaded
+        q = qs.sharded_queue(name="out")
+
+        def emit(ctx, key, value):
+            yield q.push((key, value), 1 * KiB, ctx=ctx)
+
+        qs.sim.run(until_event=for_each(pool, vec, work=1e-6, emit=emit))
+        assert q.pushed == 100
+
+    def test_work_callable(self, qs, loaded):
+        vec, pool = loaded
+        t0 = qs.sim.now
+        qs.sim.run(until_event=for_each(
+            pool, vec, work=lambda k, v: 1e-4, lo=0, hi=10))
+        # 10 elements x 0.1ms spread over workers: at least 0.2ms
+        assert qs.sim.now - t0 >= 2e-4
+
+    def test_range_restriction(self, qs, loaded):
+        vec, pool = loaded
+        count = {"n": 0}
+
+        def emit(ctx, key, value):
+            count["n"] += 1
+            return
+            yield  # pragma: no cover
+
+        qs.sim.run(until_event=for_each(pool, vec, work=0.0, emit=emit,
+                                        lo=10, hi=30))
+        assert count["n"] == 20
+
+
+class TestMapCollect:
+    def test_collects_transformed_values(self, qs, loaded):
+        vec, pool = loaded
+        ev = map_collect(pool, vec, work=1e-6,
+                         transform=lambda k, v: v + 1, hi=10)
+        result = qs.sim.run(until_event=ev)
+        assert result == [(i, i * i + 1) for i in range(10)]
+
+    def test_identity_when_no_transform(self, qs, loaded):
+        vec, pool = loaded
+        result = qs.sim.run(until_event=map_collect(pool, vec, 0.0, hi=5))
+        assert result == [(i, i * i) for i in range(5)]
+
+
+class TestReduce:
+    def test_sum(self, qs, loaded):
+        vec, pool = loaded
+        ev = reduce(pool, vec, work=1e-6,
+                    fold=lambda acc, k, v: acc + v, initial=0)
+        total = qs.sim.run(until_event=ev)
+        assert total == sum(i * i for i in range(100))
+
+    def test_partial_combination_order_independent(self, qs, loaded):
+        vec, pool = loaded
+        ev = reduce(pool, vec, work=0.0,
+                    fold=lambda acc, k, v: max(acc, v), initial=-1,
+                    task_elems=7)
+        assert qs.sim.run(until_event=ev) == 99 * 99
+
+
+class TestFilter:
+    def test_keeps_matching(self, qs, loaded):
+        vec, pool = loaded
+        ev = filter_collect(pool, vec, work=1e-6,
+                            predicate=lambda k, v: v % 2 == 0, hi=10)
+        result = qs.sim.run(until_event=ev)
+        assert result == [(i, i * i) for i in range(10) if (i * i) % 2 == 0]

@@ -1,0 +1,107 @@
+"""Tests for the distributed thread pool (ComputePool)."""
+
+import pytest
+
+from repro import Task
+from repro.cluster import Priority
+from repro.units import MS
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+class TestSubmission:
+    def test_run_simple_work(self, qs):
+        pool = qs.compute_pool(name="p")
+        done = pool.run(0.01)
+        qs.sim.run(until_event=done)
+        assert pool.total_done == 1
+
+    def test_submit_fn(self, qs):
+        pool = qs.compute_pool()
+        seen = []
+
+        def fn(ctx, task):
+            yield ctx.cpu(0.001)
+            seen.append(task.key)
+            return "ok"
+
+        result = qs.sim.run(until_event=pool.submit_fn(fn, key="job"))
+        assert result == "ok"
+        assert seen == ["job"]
+
+    def test_tasks_balance_across_members(self, qs):
+        pool = qs.compute_pool(initial_members=2, parallelism=1)
+        for _ in range(10):
+            pool.run(1.0)
+        qs.sim.run(until=0.01)
+        queues = [ref.proclet.queue_length for ref in pool.members]
+        assert abs(queues[0] - queues[1]) <= 1
+
+    def test_validation(self, qs):
+        with pytest.raises(ValueError):
+            qs.compute_pool(initial_members=0)
+
+
+class TestGrowShrink:
+    def test_grow_adds_member_on_idle_machine(self, qs):
+        pool = qs.compute_pool(initial_members=1, parallelism=4)
+        for _ in range(20):
+            pool.run(1.0)
+        qs.sim.run(until=5 * MS)
+        assert pool.grow(1) == 1
+        assert pool.effective_size == 2
+        qs.sim.run(until=qs.sim.now + 10 * MS)
+        assert pool.size == 2
+        machines = {ref.machine.name for ref in pool.members}
+        assert len(machines) == 2  # placed apart
+
+    def test_grow_denied_when_no_cpu(self, qs):
+        for m in qs.machines:
+            m.cpu.hold(threads=m.cpu.cores, priority=Priority.HIGH)
+        pool = qs.compute_pool(initial_members=1)
+        assert pool.grow(1) == 0
+        assert pool.effective_size == 1
+
+    def test_shrink_merges_and_keeps_completing(self, qs):
+        pool = qs.compute_pool(initial_members=2, parallelism=1)
+        events = [pool.run(0.02) for _ in range(10)]
+        qs.sim.run(until=5 * MS)
+        assert pool.shrink(1) == 1
+        assert pool.size == 1
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        assert pool.total_done == 10
+
+    def test_shrink_never_below_one(self, qs):
+        pool = qs.compute_pool(initial_members=2)
+        assert pool.shrink(5) == 1
+        assert pool.size == 1
+
+    def test_grow_then_work_speeds_up(self, qs):
+        """More members -> more throughput (the Fig. 3 lever)."""
+
+        def run_workload(members):
+            qs_local = make_qs(enable_local_scheduler=False,
+                               enable_global_scheduler=False,
+                               enable_split_merge=False)
+            pool = qs_local.compute_pool(initial_members=members,
+                                         parallelism=2)
+            events = [pool.run(0.05) for _ in range(32)]
+            qs_local.sim.run(until_event=qs_local.sim.all_of(events))
+            return qs_local.sim.now
+
+        slow = run_workload(1)
+        fast = run_workload(4)
+        assert fast < slow / 2
+
+    def test_stop_all(self, qs):
+        pool = qs.compute_pool(initial_members=2)
+        done = pool.run(0.01)
+        qs.sim.run(until_event=done)
+        qs.sim.run(until_event=pool.stop())

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro import (
+    ClusterSpec,
+    GpuSpec,
+    MachineSpec,
+    Quicksand,
+    QuicksandConfig,
+    StorageSpec,
+)
+from repro.units import GiB
+
+
+def make_qs(machines=None, config=None, **config_kwargs):
+    """Build a Quicksand runtime over a small default cluster."""
+    if machines is None:
+        machines = [
+            MachineSpec(name="m0", cores=8, dram_bytes=4 * GiB),
+            MachineSpec(name="m1", cores=8, dram_bytes=4 * GiB),
+        ]
+    if config is None:
+        config = QuicksandConfig(**config_kwargs)
+    return Quicksand(ClusterSpec(machines=machines), config=config)
+
+
+@pytest.fixture
+def qs():
+    return make_qs()
+
+
+@pytest.fixture
+def qs_quiet():
+    """A runtime with all background controllers disabled — unit tests
+    of individual mechanisms use this to avoid interference."""
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+def gpu_machine(name="g0", cores=8, dram=4 * GiB, gpus=4,
+                batch_time=0.01):
+    return MachineSpec(name=name, cores=cores, dram_bytes=dram,
+                       gpus=GpuSpec(count=gpus, batch_time=batch_time))
+
+
+def storage_machine(name="s0", cores=4, dram=2 * GiB,
+                    capacity=64 * GiB, iops=100_000.0):
+    return MachineSpec(
+        name=name, cores=cores, dram_bytes=dram,
+        storage=StorageSpec(capacity_bytes=capacity, iops=iops),
+    )

@@ -1,0 +1,121 @@
+"""Tests for the bin-packing placement planner and its scheduler hookup."""
+
+import pytest
+
+from repro import MachineSpec, Task
+from repro.core.scheduler.binpack import (
+    Move,
+    PackItem,
+    pack_quality,
+    plan_packing,
+)
+from repro.units import GiB, MS, MiB
+
+from ..conftest import make_qs
+
+
+class TestPlanner:
+    def test_balanced_placement_is_noop(self):
+        items = [PackItem("a", 4.0, "m0"), PackItem("b", 4.0, "m1")]
+        caps = {"m0": 8.0, "m1": 8.0}
+        assert plan_packing(items, caps) == []
+
+    def test_overloaded_bin_sheds_smallest_items(self):
+        items = [
+            PackItem("big", 6.0, "m0"),
+            PackItem("small1", 2.0, "m0"),
+            PackItem("small2", 2.0, "m0"),
+        ]
+        caps = {"m0": 8.0, "m1": 8.0}
+        moves = plan_packing(items, caps, headroom=1.0)
+        moved = {m.key for m in moves}
+        assert "big" not in moved  # sticky: big claimed its spot first
+        assert moved  # something had to move
+        assert all(m.dst == "m1" for m in moves)
+
+    def test_capacity_respected_after_plan(self):
+        items = [PackItem(f"i{k}", 3.0, "m0") for k in range(4)]
+        caps = {"m0": 8.0, "m1": 8.0}
+        moves = plan_packing(items, caps, headroom=1.0)
+        placement = {it.key: it.current_bin for it in items}
+        for m in moves:
+            placement[m.key] = m.dst
+        load = {"m0": 0.0, "m1": 0.0}
+        for it in items:
+            load[placement[it.key]] += it.size
+        assert all(load[b] <= caps[b] for b in caps)
+
+    def test_fragmented_overflow_stays_put(self):
+        """Aggregate fits but items are too chunky: best-effort, no
+        exception, no pointless moves."""
+        items = [PackItem(f"i{k}", 3.0, "m0") for k in range(5)]
+        caps = {"m0": 8.0, "m1": 8.0}
+        moves = plan_packing(items, caps, headroom=1.0)
+        assert len(moves) == 2  # two fit on m1; the fifth stays put
+
+    def test_unplaced_items_get_assigned(self):
+        items = [PackItem("x", 2.0, "nowhere")]
+        moves = plan_packing(items, {"m0": 8.0})
+        assert moves == [Move(key="x", src="nowhere", dst="m0")]
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            plan_packing([PackItem("x", 10.0, "m0")], {"m0": 8.0})
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValueError):
+            plan_packing([], {"m0": 1.0}, headroom=0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PackItem("x", -1.0, "m0")
+
+    def test_headroom_soft_then_hard(self):
+        """An item too big for headroom still places at full capacity."""
+        items = [PackItem("x", 9.5, "nowhere")]
+        moves = plan_packing(items, {"m0": 10.0}, headroom=0.9)
+        assert moves[0].dst == "m0"
+
+    def test_pack_quality(self):
+        items = [PackItem("a", 4.0, "m0"), PackItem("b", 2.0, "m1")]
+        caps = {"m0": 8.0, "m1": 8.0}
+        mx, mean = pack_quality(items, caps)
+        assert mx == pytest.approx(0.5)
+        assert mean == pytest.approx(0.375)
+
+
+class TestBinpackScheduler:
+    def test_binpack_strategy_spreads_memory(self):
+        qs = make_qs(machines=[
+            MachineSpec(name="m0", cores=8, dram_bytes=2 * GiB),
+            MachineSpec(name="m1", cores=8, dram_bytes=2 * GiB),
+        ], enable_local_scheduler=False, enable_split_merge=False,
+            global_interval=10 * MS, global_strategy="binpack")
+        m0 = qs.machines[0]
+        shards = [qs.spawn_memory(machine=m0) for _ in range(6)]
+        for s in shards:
+            qs.run(until_event=s.call("mp_put", 0, 310 * MiB, None))
+        # m0 now holds ~1.8 GiB of 2 GiB (over the 0.9 headroom).
+        qs.run(until=0.2)
+        by_machine = {}
+        for s in shards:
+            by_machine.setdefault(s.machine.name, []).append(s)
+        assert "m1" in by_machine, "binpack should move shards to m1"
+        for m in qs.machines:
+            assert m.memory.used <= m.memory.capacity * 0.95
+
+    def test_binpack_strategy_config_validation(self):
+        from repro import QuicksandConfig
+
+        with pytest.raises(ValueError):
+            QuicksandConfig(global_strategy="nonsense")
+
+    def test_binpack_noop_when_fitting(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_split_merge=False,
+                     global_interval=10 * MS,
+                     global_strategy="binpack")
+        ref = qs.spawn_memory(machine=qs.machines[0])
+        qs.run(until_event=ref.call("mp_put", 0, 100 * MiB, None))
+        qs.run(until=0.2)
+        assert ref.proclet.migrations == 0

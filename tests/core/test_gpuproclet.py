@@ -1,0 +1,65 @@
+"""Unit tests for GPU proclets."""
+
+import pytest
+
+from repro import ClusterSpec, GpuSpec, MachineSpec
+from repro.core import Quicksand, QuicksandConfig
+from repro.units import GiB, MS
+
+
+@pytest.fixture
+def qs():
+    spec = ClusterSpec(machines=[
+        MachineSpec(name="cpuonly", cores=8, dram_bytes=2 * GiB),
+        MachineSpec(name="gpubox", cores=8, dram_bytes=2 * GiB,
+                    gpus=GpuSpec(count=4, batch_time=10 * MS)),
+    ])
+    return Quicksand(spec, config=QuicksandConfig(
+        enable_local_scheduler=False, enable_global_scheduler=False,
+        enable_split_merge=False))
+
+
+class TestGpuProclet:
+    def test_train_occupies_one_gpu_for_batch_time(self, qs):
+        ref = qs.spawn_gpu()
+        t0 = qs.sim.now
+        qs.run(until_event=ref.call("gp_train", "b0"))
+        assert qs.sim.now - t0 >= 10 * MS
+        assert ref.proclet.batches_trained == 1
+
+    def test_parallel_batches_use_parallel_gpus(self, qs):
+        ref = qs.spawn_gpu()
+        events = [ref.call("gp_train", i) for i in range(4)]
+        t0 = qs.sim.now
+        qs.run(until_event=qs.sim.all_of(events))
+        # 4 batches on 4 GPUs: one wave.
+        assert qs.sim.now - t0 == pytest.approx(10 * MS, rel=0.1)
+
+    def test_oversubscribed_batches_share(self, qs):
+        ref = qs.spawn_gpu()
+        events = [ref.call("gp_train", i) for i in range(8)]
+        t0 = qs.sim.now
+        qs.run(until_event=qs.sim.all_of(events))
+        # 8 batches on 4 GPUs: two waves' worth of service.
+        assert qs.sim.now - t0 == pytest.approx(20 * MS, rel=0.1)
+
+    def test_service_rate_query(self, qs):
+        ref = qs.spawn_gpu()
+        rate = qs.run(until_event=ref.call("gp_service_rate"))
+        assert rate == pytest.approx(400.0)
+
+    def test_resize_changes_throughput(self, qs):
+        ref = qs.spawn_gpu()
+        gpus = qs.machine("gpubox").gpus
+        gpus.resize(2)
+        events = [ref.call("gp_train", i) for i in range(8)]
+        t0 = qs.sim.now
+        qs.run(until_event=qs.sim.all_of(events))
+        assert qs.sim.now - t0 == pytest.approx(40 * MS, rel=0.1)
+
+    def test_train_on_gpuless_machine_fails(self, qs):
+        from repro.core.gpuproclet import GpuProclet
+
+        ref = qs.runtime.spawn(GpuProclet(), qs.machine("cpuonly"))
+        with pytest.raises(RuntimeError):
+            qs.run(until_event=ref.call("gp_train"))

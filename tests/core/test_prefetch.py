@@ -1,0 +1,122 @@
+"""Unit tests for the prefetching reader."""
+
+import pytest
+
+from repro import Proclet
+from repro.core.prefetch import PrefetchingReader
+from repro.units import KiB, MiB, US
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+class Scanner(Proclet):
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def scan(self, ctx, reader, cpu_per_batch=0.0):
+        while True:
+            batch = yield from reader.next_batch(ctx)
+            if batch is None:
+                return len(self.seen)
+            self.seen.extend(k for k, _v in batch)
+            if cpu_per_batch:
+                yield ctx.cpu(cpu_per_batch)
+
+
+def _vector(qs, n, size=64 * KiB):
+    vec = qs.sharded_vector(name="v")
+    events = [vec.append(f"v{i}", size) for i in range(n)]
+    qs.sim.run(until_event=qs.sim.all_of(events))
+    return vec
+
+
+class TestReaderMechanics:
+    def test_reads_all_in_order(self, qs):
+        vec = _vector(qs, 50)
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        reader = vec.reader(0, 50, chunk=7, depth=3)
+        total = qs.sim.run(until_event=scanner.call("scan", reader))
+        assert total == 50
+        assert scanner.proclet.seen == list(range(50))
+        assert reader.exhausted
+
+    def test_depth_zero_still_works(self, qs):
+        vec = _vector(qs, 20)
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        reader = vec.reader(0, 20, chunk=4, depth=0)
+        qs.sim.run(until_event=scanner.call("scan", reader))
+        assert scanner.proclet.seen == list(range(20))
+
+    def test_chunk_one(self, qs):
+        vec = _vector(qs, 10)
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        reader = vec.reader(0, 10, chunk=1, depth=2)
+        qs.sim.run(until_event=scanner.call("scan", reader))
+        assert scanner.proclet.seen == list(range(10))
+        assert reader.batches_read == 10
+
+    def test_validation(self, qs):
+        vec = _vector(qs, 4)
+        with pytest.raises(ValueError):
+            PrefetchingReader(vec, 0, 4, chunk=0)
+        with pytest.raises(ValueError):
+            PrefetchingReader(vec, 0, 4, depth=-1)
+
+    def test_empty_range(self, qs):
+        vec = _vector(qs, 4)
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        reader = vec.reader(2, 2)
+        total = qs.sim.run(until_event=scanner.call("scan", reader))
+        assert total == 0
+
+    def test_batches_clamped_at_shard_boundaries(self, qs):
+        """A batch read never spans two shards."""
+        qs2 = make_qs(max_shard_bytes=512 * KiB, min_shard_bytes=64 * KiB,
+                      enable_local_scheduler=False,
+                      enable_global_scheduler=False)
+        vec = _vector(qs2, 40, size=64 * KiB)  # forces several shards
+        qs2.sim.run(until=qs2.sim.now + 0.1)
+        assert vec.shard_count > 1
+        scanner = qs2.spawn(Scanner(), qs2.machines[0])
+        reader = vec.reader(0, 40, chunk=16, depth=2)
+        qs2.sim.run(until_event=scanner.call("scan", reader))
+        assert scanner.proclet.seen == list(range(40))
+
+
+class TestOverlapBehaviour:
+    def test_prefetch_hides_remote_fetch_time(self, qs):
+        """With compute per batch >> fetch time, scan time with depth>0
+        approaches pure compute; with depth=0+chunk=1 it pays the RPC
+        per element."""
+        m0, m1 = qs.machines
+        vec = qs.sharded_vector(name="far", initial_machine=m1)
+        events = [vec.append(None, 256 * KiB) for _ in range(64)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+
+        def scan_time(chunk, depth):
+            scanner = qs.spawn(Scanner(), m0)
+            reader = vec.reader(0, 64, chunk=chunk, depth=depth)
+            t0 = qs.sim.now
+            qs.sim.run(until_event=scanner.call(
+                "scan", reader, 50 * US * chunk / chunk))
+            return qs.sim.now - t0
+
+        pipelined = scan_time(chunk=8, depth=4)
+        synchronous = scan_time(chunk=1, depth=0)
+        assert synchronous > 1.2 * pipelined
+
+    def test_reader_counts(self, qs):
+        vec = _vector(qs, 30)
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        reader = vec.reader(0, 30, chunk=10, depth=2)
+        qs.sim.run(until_event=scanner.call("scan", reader))
+        assert reader.batches_read == 3
+        assert reader.elements_read == 30

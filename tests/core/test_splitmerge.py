@@ -1,0 +1,152 @@
+"""Tests for adaptive split/merge controllers (§3.3)."""
+
+import pytest
+
+from repro import GpuSpec, MachineSpec, Proclet, Task
+from repro.core.pressure import RateEstimator
+from repro.core.splitmerge import ComputeAutoscaler
+from repro.units import GiB, KiB, MS, MiB
+
+from ..conftest import make_qs
+
+
+class TestRateEstimator:
+    def test_converges_to_constant_rate(self):
+        est = RateEstimator(time_constant=0.01)
+        t = 0.0
+        for _ in range(100):
+            t += 0.001
+            est.update(t, 5.0)  # 5 events per ms = 5000/s
+        assert est.rate == pytest.approx(5000.0, rel=0.01)
+
+    def test_tracks_step_change_within_time_constant(self):
+        est = RateEstimator(time_constant=0.004)
+        t = 0.0
+        for _ in range(50):
+            t += 0.001
+            est.update(t, 4.0)
+        for _ in range(8):  # 8 ms after the step
+            t += 0.001
+            est.update(t, 8.0)
+        assert est.rate > 6500.0  # mostly converged to 8000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(time_constant=0.0)
+
+    def test_reset(self):
+        est = RateEstimator(0.01, initial=5.0)
+        assert est.rate == 5.0
+        est.reset()
+        assert est.rate == 0.0
+
+
+class TestShardSizeController:
+    def test_sizes_stay_in_band_during_ingest(self):
+        qs = make_qs(max_shard_bytes=1 * MiB, min_shard_bytes=64 * KiB,
+                     enable_local_scheduler=False,
+                     enable_global_scheduler=False)
+        m = qs.sharded_map()
+        events = [m.put(f"k{i:04d}", None, 64 * KiB) for i in range(64)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        qs.sim.run(until=qs.sim.now + 0.2)
+        for shard in m.shards:
+            assert shard.proclet.heap_bytes <= 1.05 * MiB
+
+    def test_controller_keeps_migration_fast(self):
+        """The whole point of §3.3: bounded shards migrate in bounded
+        time, no matter how much data was ingested."""
+        qs = make_qs(max_shard_bytes=4 * MiB, min_shard_bytes=256 * KiB,
+                     enable_local_scheduler=False,
+                     enable_global_scheduler=False)
+        vec = qs.sharded_vector()
+        events = [vec.append(None, 128 * KiB) for i in range(256)]  # 32 MiB
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        qs.sim.run(until=qs.sim.now + 0.2)
+        # migrate a middle shard and check latency
+        shard = vec.shards[1]
+        dst = next(m for m in qs.machines if m is not shard.ref.machine)
+        latency = qs.sim.run(until_event=qs.runtime.migrate(shard.ref, dst))
+        assert latency < 1 * MS
+
+    def test_disabled_controller_lets_shards_grow(self):
+        qs = make_qs(max_shard_bytes=1 * MiB, min_shard_bytes=64 * KiB,
+                     enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        vec = qs.sharded_vector()
+        events = [vec.append(None, 64 * KiB) for i in range(64)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        qs.sim.run(until=qs.sim.now + 0.2)
+        assert vec.shard_count == 1
+        assert vec.shards[0].proclet.heap_bytes == 4 * MiB
+
+
+class _SteadyConsumer(Proclet):
+    """Pops from a queue at whatever rate the queue sustains."""
+
+    def __init__(self):
+        super().__init__()
+        self.consumed = 0
+
+    def consume(self, ctx, queue, rate_limit=None):
+        while True:
+            yield queue.pop(ctx)
+            self.consumed += 1
+            if rate_limit is not None:
+                yield ctx.sleep(1.0 / rate_limit)
+
+
+class TestComputeAutoscaler:
+    def _pipeline(self, consumption_rate, duration=0.3):
+        """A pool producing into a queue drained at consumption_rate."""
+        qs = make_qs(machines=[
+            MachineSpec(name="m0", cores=16, dram_bytes=4 * GiB),
+            MachineSpec(name="m1", cores=16, dram_bytes=4 * GiB),
+        ], enable_local_scheduler=False, enable_global_scheduler=False)
+        q = qs.sharded_queue(name="pipe")
+        task_cpu = 0.01  # one member produces 100 tasks/s
+
+        class Source:
+            def pull(self, ctx):
+                yield ctx.cpu(1e-6)
+                t = Task(work=0.0)
+
+                def fn(c, _t):
+                    yield c.cpu(task_cpu)
+                    yield q.push("batch", 16 * KiB, ctx=c)
+
+                t.fn = fn
+                return t
+
+        pool = qs.compute_pool(name="prod", parallelism=1, source=Source())
+        scaler = ComputeAutoscaler(qs, pool, q,
+                                   nominal_task_rate=1.0 / task_cpu,
+                                   min_members=1, max_members=16)
+        consumer = qs.spawn(_SteadyConsumer(), qs.machines[0])
+        consumer.call("consume", q, rate_limit=consumption_rate)
+        qs.sim.run(until=duration)
+        return qs, pool, scaler
+
+    def test_scales_up_to_match_consumer(self):
+        qs, pool, scaler = self._pipeline(consumption_rate=400.0)
+        # 400 tasks/s needs ~4 members at 100 tasks/s each
+        assert 3 <= pool.size <= 6
+        assert scaler.scale_ups >= 2
+
+    def test_stays_small_for_slow_consumer(self):
+        qs, pool, scaler = self._pipeline(consumption_rate=80.0)
+        assert pool.size <= 2
+
+    def test_validation(self, qs_quiet):
+        pool = qs_quiet.compute_pool()
+        q = qs_quiet.sharded_queue()
+        with pytest.raises(ValueError):
+            ComputeAutoscaler(qs_quiet, pool, q, nominal_task_rate=0.0)
+
+    def test_decisions_trace_recorded(self):
+        qs, pool, scaler = self._pipeline(consumption_rate=200.0,
+                                          duration=0.1)
+        assert len(scaler.decisions) > 50  # ~1 per ms
+        times = [t for t, _d, _a in scaler.decisions]
+        assert times == sorted(times)

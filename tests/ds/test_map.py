@@ -1,0 +1,132 @@
+"""Tests for the sharded map and set: routing, auto-split, auto-merge."""
+
+import pytest
+
+from repro.units import KiB, MiB
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(max_shard_bytes=1 * MiB, min_shard_bytes=128 * KiB,
+                   enable_local_scheduler=False,
+                   enable_global_scheduler=False)
+
+
+def settle(qs, dt=0.1):
+    qs.sim.run(until=qs.sim.now + dt)
+
+
+class TestMapBasics:
+    def test_put_get_roundtrip(self, qs):
+        m = qs.sharded_map(name="kv")
+        qs.sim.run(until_event=m.put("alice", 30, 1 * KiB))
+        assert qs.sim.run(until_event=m.get("alice")) == 30
+        assert len(m) == 1
+
+    def test_overwrite_does_not_grow_size(self, qs):
+        m = qs.sharded_map()
+        qs.sim.run(until_event=m.put("k", 1, 1 * KiB))
+        qs.sim.run(until_event=m.put("k", 2, 1 * KiB))
+        assert len(m) == 1
+        assert qs.sim.run(until_event=m.get("k")) == 2
+
+    def test_delete(self, qs):
+        m = qs.sharded_map()
+        qs.sim.run(until_event=m.put("k", 1, 1 * KiB))
+        qs.sim.run(until_event=m.delete("k"))
+        assert len(m) == 0
+        with pytest.raises(KeyError):
+            qs.sim.run(until_event=m.get("k"))
+
+    def test_contains(self, qs):
+        m = qs.sharded_map()
+        qs.sim.run(until_event=m.put("k", 1, 100))
+        assert qs.sim.run(until_event=m.contains("k")) is True
+        assert qs.sim.run(until_event=m.contains("z")) is False
+
+    def test_missing_get_raises(self, qs):
+        m = qs.sharded_map()
+        with pytest.raises(KeyError):
+            qs.sim.run(until_event=m.get("ghost"))
+
+
+class TestMapSharding:
+    def _load(self, qs, m, n, size=32 * KiB):
+        events = [m.put(f"key-{i:05d}", i, size) for i in range(n)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        settle(qs)
+
+    def test_ingest_splits_shards(self, qs):
+        m = qs.sharded_map()
+        self._load(qs, m, 128)  # 4 MiB at 1 MiB cap
+        assert m.shard_count >= 3
+        # every shard within the band
+        for shard in m.shards:
+            assert shard.proclet.heap_bytes <= 1.05 * MiB
+
+    def test_all_keys_readable_after_splits(self, qs):
+        m = qs.sharded_map()
+        self._load(qs, m, 128)
+        for i in [0, 17, 63, 100, 127]:
+            assert qs.sim.run(until_event=m.get(f"key-{i:05d}")) == i
+
+    def test_range_invariants_hold(self, qs):
+        """Every object must live in the shard covering its key."""
+        m = qs.sharded_map()
+        self._load(qs, m, 128)
+        for idx, shard in enumerate(m.shards):
+            hi = (m.shards[idx + 1].lo if idx + 1 < len(m.shards)
+                  else None)
+            for key in shard.proclet.keys:
+                from repro.ds.sharding import _Bottom
+
+                if not isinstance(shard.lo, _Bottom):
+                    assert key >= shard.lo
+                if hi is not None:
+                    assert key < hi
+
+    def test_deletions_trigger_merges(self, qs):
+        """§3.3: removing many KV pairs merges adjacent shards."""
+        m = qs.sharded_map()
+        self._load(qs, m, 128)
+        shards_before = m.shard_count
+        events = [m.delete(f"key-{i:05d}") for i in range(120)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        settle(qs, 0.5)
+        assert m.shard_count < shards_before
+        # remaining keys intact
+        for i in range(120, 128):
+            assert qs.sim.run(until_event=m.get(f"key-{i:05d}")) == i
+
+    def test_size_tracking_across_splits(self, qs):
+        m = qs.sharded_map()
+        self._load(qs, m, 100)
+        assert len(m) == 100
+        assert m.total_objects == 100
+
+
+class TestShardedSet:
+    def test_add_contains_discard(self, qs):
+        s = qs.sharded_set(name="tags")
+        qs.sim.run(until_event=s.add("x"))
+        qs.sim.run(until_event=s.add("y"))
+        assert len(s) == 2
+        assert qs.sim.run(until_event=s.contains("x")) is True
+        qs.sim.run(until_event=s.discard("x"))
+        assert len(s) == 1
+        assert qs.sim.run(until_event=s.contains("x")) is False
+
+    def test_set_shards_on_volume(self, qs):
+        s = qs.sharded_set()
+        events = [s.add(f"item-{i:06d}") for i in range(2000)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        settle(qs)
+        assert len(s) == 2000
+        assert s.shard_count >= 1
+
+    def test_destroy(self, qs):
+        s = qs.sharded_set()
+        qs.sim.run(until_event=s.add("x"))
+        s.destroy()

@@ -1,0 +1,168 @@
+"""Tests for the sharded vector: append, reads, sealing, auto-split."""
+
+import pytest
+
+from repro import MachineSpec
+from repro.units import GiB, KiB, MiB
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    # Small shard cap so sharding behaviour shows with few elements.
+    return make_qs(max_shard_bytes=1 * MiB, min_shard_bytes=64 * KiB,
+                   enable_local_scheduler=False,
+                   enable_global_scheduler=False)
+
+
+def fill(qs, vec, n, size=64 * KiB):
+    events = [vec.append(f"e{i}", size) for i in range(n)]
+    qs.sim.run(until_event=qs.sim.all_of(events))
+    # Let deferred split/seal work settle before asserting.
+    qs.sim.run(until=qs.sim.now + 0.1)
+
+
+class TestAppendAndRead:
+    def test_append_then_get(self, qs):
+        vec = qs.sharded_vector(name="v")
+        fill(qs, vec, 5)
+        assert len(vec) == 5
+        for i in range(5):
+            assert qs.sim.run(until_event=vec.get(i)) == f"e{i}"
+
+    def test_out_of_range(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 2)
+        with pytest.raises(IndexError):
+            vec.get(2)
+        with pytest.raises(IndexError):
+            vec.get(-1)
+
+    def test_put_overwrites(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 3)
+        qs.sim.run(until_event=vec.put(1, "changed", 32 * KiB))
+        assert qs.sim.run(until_event=vec.get(1)) == "changed"
+
+    def test_total_accounting(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 10, size=10 * KiB)
+        assert vec.total_objects == 10
+        assert vec.total_bytes == pytest.approx(100 * KiB)
+
+
+class TestSealingAndSharding:
+    def test_tail_seals_into_new_shards(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 64)  # 4 MiB at 1 MiB cap -> >= 4 shards
+        assert vec.shard_count >= 4
+        # all elements still reachable
+        for i in [0, 20, 40, 63]:
+            assert qs.sim.run(until_event=vec.get(i)) == f"e{i}"
+
+    def test_sealed_shards_never_exceed_cap_much(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 64)
+        for shard in vec.shards[:-1]:
+            assert shard.proclet.heap_bytes <= 1.1 * MiB
+
+    def test_shards_spread_across_machines(self):
+        qs = make_qs(machines=[
+            MachineSpec(name="m0", cores=8, dram_bytes=4 * GiB),
+            MachineSpec(name="m1", cores=8, dram_bytes=4 * GiB),
+        ], max_shard_bytes=1 * MiB, min_shard_bytes=64 * KiB,
+            enable_local_scheduler=False, enable_global_scheduler=False)
+        vec = qs.sharded_vector()
+        fill(qs, vec, 128)
+        names = {m.name for m in vec.shard_machines()}
+        assert names == {"m0", "m1"}
+
+    def test_memory_unbalanced_placement_favours_big_machine(self):
+        """Fig. 2 Mem-unbalanced: shards land mostly on the 12 GiB node."""
+        qs = make_qs(machines=[
+            MachineSpec(name="small", cores=8, dram_bytes=1 * GiB),
+            MachineSpec(name="big", cores=8, dram_bytes=12 * GiB),
+        ], max_shard_bytes=8 * MiB, min_shard_bytes=1 * MiB,
+            enable_local_scheduler=False, enable_global_scheduler=False)
+        vec = qs.sharded_vector()
+        fill(qs, vec, 512, size=64 * KiB)  # 32 MiB
+        on_big = sum(1 for m in vec.shard_machines() if m.name == "big")
+        assert on_big >= 0.7 * vec.shard_count
+
+    def test_routing_after_splits(self, qs):
+        """Force a mid-shard split (put grows an inner element)."""
+        vec = qs.sharded_vector(name="v")
+        fill(qs, vec, 32)
+        # grow element 3 far past cap: inner shard must split, not seal
+        qs.sim.run(until_event=vec.put(3, "big", 2 * MiB))
+        qs.sim.run(until=qs.sim.now + 0.05)
+        for i in [0, 3, 15, 31]:
+            expected = "big" if i == 3 else f"e{i}"
+            assert qs.sim.run(until_event=vec.get(i)) == expected
+
+
+class TestReader:
+    def test_reader_visits_everything_in_order(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 100, size=16 * KiB)
+
+        from repro import Proclet
+
+        class Scanner(Proclet):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def scan(self, ctx, reader):
+                while True:
+                    batch = yield from reader.next_batch(ctx)
+                    if batch is None:
+                        return
+                    self.seen.extend(k for k, _v in batch)
+
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        reader = vec.reader(0, 100, chunk=7, depth=2)
+        qs.sim.run(until_event=scanner.call("scan", reader))
+        assert scanner.proclet.seen == list(range(100))
+        assert reader.elements_read == 100
+
+    def test_reader_range_subset(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 50, size=16 * KiB)
+
+        from repro import Proclet
+
+        class Scanner(Proclet):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def scan(self, ctx, reader):
+                while True:
+                    batch = yield from reader.next_batch(ctx)
+                    if batch is None:
+                        return
+                    self.seen.extend(k for k, _v in batch)
+
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        qs.sim.run(until_event=scanner.call("scan", vec.reader(10, 20)))
+        assert scanner.proclet.seen == list(range(10, 20))
+
+    def test_reader_validation(self, qs):
+        vec = qs.sharded_vector()
+        fill(qs, vec, 4)
+        with pytest.raises(ValueError):
+            vec.reader(0, 4, chunk=0)
+        with pytest.raises(ValueError):
+            vec.reader(0, 4, depth=-1)
+
+
+class TestDestroy:
+    def test_destroy_releases_all_memory(self, qs):
+        before = sum(m.memory.used for m in qs.machines)
+        vec = qs.sharded_vector()
+        fill(qs, vec, 32)
+        vec.destroy()
+        after = sum(m.memory.used for m in qs.machines)
+        assert after == pytest.approx(before)

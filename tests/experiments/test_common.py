@@ -1,0 +1,74 @@
+"""Tests for experiment-harness utilities."""
+
+import pytest
+
+from repro.experiments.common import (
+    equilibrium_latency,
+    fmt_series,
+    fmt_table,
+)
+
+
+class TestFmtTable:
+    def test_alignment_and_content(self):
+        out = fmt_table(["name", "value"], [("a", 1), ("long-name", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "long-name" in lines[3]
+        # columns aligned: all lines same display width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_numeric_coercion(self):
+        out = fmt_table(["x"], [(1.5,), (None,)])
+        assert "1.5" in out and "None" in out
+
+
+class TestFmtSeries:
+    def test_downsamples_long_series(self):
+        series = [(i * 0.001, float(i)) for i in range(1000)]
+        out = fmt_series(series, max_rows=20)
+        assert len(out.splitlines()) == 20
+
+    def test_short_series_fully_shown(self):
+        series = [(0.001, 1.0), (0.002, 2.0)]
+        assert len(fmt_series(series).splitlines()) == 2
+
+    def test_units_in_output(self):
+        out = fmt_series([(0.5, 1.0)], t_unit="s", t_scale=1.0)
+        assert "s" in out
+
+
+class TestEquilibriumLatency:
+    def test_immediate_equilibrium(self):
+        trace = [(0.010 + 0.001 * i, 8) for i in range(20)]
+        lat = equilibrium_latency(trace, toggle_time=0.010, target=8,
+                                  hold=0.005)
+        assert lat == pytest.approx(0.0, abs=1e-9)
+
+    def test_delayed_equilibrium(self):
+        trace = [(0.010, 4), (0.012, 6), (0.014, 8), (0.015, 8),
+                 (0.020, 8), (0.025, 8)]
+        lat = equilibrium_latency(trace, toggle_time=0.010, target=8,
+                                  hold=0.005)
+        assert lat == pytest.approx(0.004)
+
+    def test_transient_touch_does_not_count(self):
+        """Reaching the target then leaving it resets the clock."""
+        trace = [(0.010, 8), (0.011, 4), (0.013, 8), (0.014, 8),
+                 (0.020, 8)]
+        lat = equilibrium_latency(trace, toggle_time=0.010, target=8,
+                                  hold=0.005)
+        assert lat == pytest.approx(0.003)
+
+    def test_never_reached(self):
+        trace = [(0.010 + 0.001 * i, 4) for i in range(20)]
+        assert equilibrium_latency(trace, 0.010, target=8) == float("inf")
+
+    def test_samples_before_toggle_ignored(self):
+        trace = [(0.005, 8), (0.009, 8), (0.012, 8), (0.013, 8),
+                 (0.020, 8)]
+        lat = equilibrium_latency(trace, toggle_time=0.010, target=8,
+                                  hold=0.005)
+        assert lat == pytest.approx(0.002)

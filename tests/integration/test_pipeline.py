@@ -1,0 +1,165 @@
+"""Integration tests for the DNN pipeline and cross-layer behaviours."""
+
+import pytest
+
+from repro import ClusterSpec, GpuSpec, MachineSpec, Proclet
+from repro.apps import WordCountJob
+from repro.apps.dnn import (
+    BatchPipeline,
+    DatasetSpec,
+    GpuAvailabilityDriver,
+    StreamingPipeline,
+    load_dataset,
+)
+from repro.core import Quicksand, QuicksandConfig
+from repro.units import GiB, KiB, MS, MiB
+
+from ..conftest import make_qs
+
+
+class TestBatchPipeline:
+    def test_end_to_end_counts(self):
+        qs = make_qs(enable_global_scheduler=False)
+        ds = DatasetSpec(count=100, mean_bytes=256 * KiB, mean_cpu=0.01)
+        pipeline = BatchPipeline(qs, dataset=ds, workers=8)
+        result = pipeline.run()
+        assert result.images == 100
+        assert pipeline.stage.images_done == 100
+        assert pipeline.queue.pushed == 100
+        assert result.preprocess_time > 0
+
+    def test_jittered_dataset(self):
+        qs = make_qs(enable_global_scheduler=False)
+        ds = DatasetSpec(count=60, mean_bytes=128 * KiB, mean_cpu=0.005,
+                         size_jitter=0.5, cpu_jitter=0.5)
+        pipeline = BatchPipeline(qs, dataset=ds, workers=4)
+        result = pipeline.run()
+        assert result.images == 60
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(count=0)
+        with pytest.raises(ValueError):
+            DatasetSpec(mean_cpu=0.0)
+        with pytest.raises(ValueError):
+            DatasetSpec(size_jitter=1.0)
+
+    def test_load_dataset_fills_vector(self):
+        qs = make_qs(enable_global_scheduler=False)
+        vec = qs.sharded_vector(name="imgs")
+        ds = DatasetSpec(count=50, mean_bytes=512 * KiB, mean_cpu=0.01)
+        n = qs.sim.run(until_event=load_dataset(qs, vec, ds))
+        assert n == 50
+        assert len(vec) == 50
+        assert vec.total_bytes == pytest.approx(ds.total_bytes)
+
+
+class TestStreamingPipeline:
+    def _cluster(self):
+        return Quicksand(ClusterSpec(machines=[
+            MachineSpec(name="cpu0", cores=16, dram_bytes=4 * GiB),
+            MachineSpec(name="gpubox", cores=8, dram_bytes=4 * GiB,
+                        gpus=GpuSpec(count=4, batch_time=10 * MS)),
+        ]), config=QuicksandConfig(enable_global_scheduler=False))
+
+    def test_trains_continuously(self):
+        qs = self._cluster()
+        pipeline = StreamingPipeline(qs, qs.machine("gpubox"),
+                                     cpu_per_batch=10 * MS,
+                                     initial_members=4)
+        pipeline.start()
+        qs.run(until=qs.sim.now + 0.5)
+        # 4 GPUs x 100 batches/s x 0.5 s ~ 200 batches
+        assert pipeline.trainer.batches_trained > 150
+
+    def test_gpu_resize_moves_consumption(self):
+        qs = self._cluster()
+        pipeline = StreamingPipeline(qs, qs.machine("gpubox"),
+                                     cpu_per_batch=10 * MS,
+                                     initial_members=4, max_members=12)
+        pipeline.start()
+        qs.run(until=qs.sim.now + 0.2)
+        before = pipeline.trainer.batches_trained
+        qs.machine("gpubox").gpus.resize(2)
+        qs.run(until=qs.sim.now + 0.2)
+        after = pipeline.trainer.batches_trained
+        # halved GPUs -> roughly halved consumption in the second window
+        assert (after - before) < 0.7 * before
+
+    def test_driver_validation(self):
+        qs = self._cluster()
+        with pytest.raises(ValueError):
+            GpuAvailabilityDriver(qs.machine("gpubox"), low=4, high=2)
+        with pytest.raises(ValueError):
+            GpuAvailabilityDriver(qs.machine("gpubox"), period=0)
+        with pytest.raises(ValueError):
+            GpuAvailabilityDriver(qs.machine("cpu0"))
+
+
+class TestWordCount:
+    def test_matches_oracle(self):
+        qs = make_qs()
+        job = WordCountJob(qs, documents=120, words_per_doc=40,
+                           vocabulary=15, pool_members=3)
+        counts = qs.run(until_event=job.run())
+        assert counts == job.expected
+
+
+class TestCrossLayerBehaviours:
+    def test_migration_during_pipeline_is_transparent(self):
+        """Migrating a shard mid-run must not lose or corrupt reads."""
+        qs = make_qs(enable_global_scheduler=False)
+        vec = qs.sharded_vector(name="v")
+        events = [vec.append(i, 64 * KiB) for i in range(200)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        qs.sim.run(until=qs.sim.now + 0.05)
+
+        class Scanner(Proclet):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def scan(self, ctx, reader):
+                while True:
+                    batch = yield from reader.next_batch(ctx)
+                    if batch is None:
+                        return
+                    for key, _v in batch:
+                        self.seen.append(key)
+                    yield ctx.cpu(0.001)
+
+        scanner = qs.spawn(Scanner(), qs.machines[0])
+        done = scanner.call("scan", vec.reader(0, 200, chunk=8))
+        qs.sim.run(until=qs.sim.now + 0.002)
+        # migrate a shard mid-scan
+        shard = vec.shards[0]
+        dst = next(m for m in qs.machines if m is not shard.ref.machine)
+        qs.sim.run(until_event=qs.runtime.migrate(shard.ref, dst))
+        qs.sim.run(until_event=done)
+        assert scanner.proclet.seen == list(range(200))
+
+    def test_memory_pressure_eviction_keeps_pipeline_running(self):
+        """Foreign memory pressure mid-run evicts shards, not progress."""
+        qs = make_qs(machines=[
+            MachineSpec(name="m0", cores=8, dram_bytes=1 * GiB),
+            MachineSpec(name="m1", cores=8, dram_bytes=4 * GiB),
+        ], enable_global_scheduler=False)
+        m0 = qs.machines[0]
+        vec = qs.sharded_vector(name="v", initial_machine=m0)
+        events = [vec.append(i, 1 * MiB) for i in range(100)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        qs.sim.run(until=qs.sim.now + 0.05)
+        # squeeze m0
+        m0.memory.reserve(m0.memory.free * 0.95)
+        qs.sim.run(until=qs.sim.now + 0.1)
+        # everything still readable
+        for i in (0, 50, 99):
+            assert qs.sim.run(until_event=vec.get(i)) == i
+
+    def test_affinity_metrics_populated_by_pipeline(self):
+        qs = make_qs(enable_global_scheduler=False)
+        ds = DatasetSpec(count=60, mean_bytes=256 * KiB, mean_cpu=0.01)
+        pipeline = BatchPipeline(qs, dataset=ds, workers=4)
+        pipeline.run()
+        assert qs.affinity.total_remote_calls + \
+            qs.affinity.total_local_calls > 0

@@ -1,0 +1,144 @@
+"""Unit tests for metric primitives."""
+
+import pytest
+
+from repro.metrics import Counter, Gauge, TimeSeries, merge_series
+from repro.metrics import Summary, mean, percentile, stddev
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+        assert ts.last == 2.0
+
+    def test_rejects_time_going_backwards(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 0.0)
+
+    def test_window(self):
+        ts = TimeSeries("x")
+        for t in range(10):
+            ts.record(float(t), float(t))
+        w = ts.window(2.0, 5.0)
+        assert w.times == [2.0, 3.0, 4.0]
+
+    def test_value_at_step_interpolation(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 10.0)
+        ts.record(3.0, 20.0)
+        assert ts.value_at(0.5, default=-1) == -1
+        assert ts.value_at(1.0) == 10.0
+        assert ts.value_at(2.9) == 10.0
+        assert ts.value_at(3.0) == 20.0
+        assert ts.value_at(100.0) == 20.0
+
+    def test_bucket_sums(self):
+        ts = TimeSeries("x")
+        for t in [0.1, 0.2, 1.5, 2.9]:
+            ts.record(t, 1.0)
+        buckets = ts.bucket_sums(0.0, 3.0, 1.0)
+        assert [v for _, v in buckets] == [2.0, 1.0, 1.0]
+
+    def test_bucket_sums_bad_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries().bucket_sums(0, 1, 0)
+
+    def test_mean_over_step_function(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 0.0)
+        ts.record(1.0, 10.0)
+        # 0 for [0,1), 10 for [1,2) -> mean 5
+        assert ts.mean_over(0.0, 2.0) == pytest.approx(5.0)
+
+    def test_mean_over_empty_interval(self):
+        assert TimeSeries().mean_over(1.0, 1.0) == 0.0
+
+    def test_merge_series(self):
+        a, b = TimeSeries("a"), TimeSeries("b")
+        a.record(0.0, 1)
+        a.record(2.0, 1)
+        b.record(1.0, 2)
+        m = merge_series([a, b], "m")
+        assert m.times == [0.0, 1.0, 2.0]
+
+
+class TestCounter:
+    def test_totals(self):
+        c = Counter("c")
+        c.add(0.0)
+        c.add(1.0, 2.5)
+        assert c.total == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(0.0, -1)
+
+    def test_rate_over(self):
+        c = Counter("c")
+        for t in range(10):
+            c.add(float(t), 2.0)
+        assert c.rate_over(0.0, 10.0) == pytest.approx(2.0)
+
+    def test_no_history_rate_raises(self):
+        c = Counter("c", keep_history=False)
+        c.add(0.0)
+        with pytest.raises(ValueError):
+            c.rate_over(0, 1)
+
+
+class TestGauge:
+    def test_integral(self):
+        g = Gauge("g", initial=1.0, t0=0.0)
+        g.set(2.0, 3.0)
+        # 1.0 for 2s + 3.0 for 2s = 8
+        assert g.integral_over(0.0, 4.0) == pytest.approx(8.0)
+
+    def test_adjust(self):
+        g = Gauge("g", initial=5.0)
+        g.adjust(1.0, -2.0)
+        assert g.level == 3.0
+
+    def test_set_same_value_no_sample(self):
+        g = Gauge("g", initial=1.0)
+        n = len(g.series)
+        g.set(1.0, 1.0)
+        assert len(g.series) == n
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+        assert stddev([2, 4]) == pytest.approx(1.41421356, rel=1e-6)
+        assert stddev([5]) == 0.0
+
+    def test_percentile(self):
+        xs = list(range(101))
+        assert percentile(xs, 0) == 0
+        assert percentile(xs, 50) == 50
+        assert percentile(xs, 100) == 100
+        assert percentile([1, 2], 50) == pytest.approx(1.5)
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_summary(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert "n=4" in str(s)
+
+    def test_summary_empty(self):
+        s = Summary.of([])
+        assert s.count == 0

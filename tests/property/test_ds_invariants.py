@@ -1,0 +1,156 @@
+"""Property-based tests: sharded structures behave like their
+single-machine counterparts under random operation sequences, across
+whatever splits and merges the controller performs along the way."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.sharding import BOTTOM
+from repro.units import KiB, MiB
+
+import sys
+sys.path.insert(0, "")  # keep import graph simple for the test runner
+
+from ..conftest import make_qs  # noqa: E402
+
+_keys = st.text(alphabet="abcdef", min_size=1, max_size=6)
+_map_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _keys, st.integers(0, 1000),
+                  st.integers(1, 64)),  # KiB
+        st.tuples(st.just("delete"), _keys),
+        st.tuples(st.just("get"), _keys),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def _fresh_qs():
+    return make_qs(max_shard_bytes=256 * KiB, min_shard_bytes=32 * KiB,
+                   enable_local_scheduler=False,
+                   enable_global_scheduler=False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=_map_ops)
+def test_sharded_map_matches_dict(ops):
+    qs = _fresh_qs()
+    m = qs.sharded_map(name="kv")
+    oracle = {}
+    for op in ops:
+        if op[0] == "put":
+            _k, key, value, size_kib = op
+            qs.sim.run(until_event=m.put(key, value, size_kib * KiB))
+            oracle[key] = value
+        elif op[0] == "delete":
+            key = op[1]
+            ev = m.delete(key)
+            if key in oracle:
+                qs.sim.run(until_event=ev)
+                del oracle[key]
+            else:
+                with pytest.raises(KeyError):
+                    qs.sim.run(until_event=ev)
+        else:
+            key = op[1]
+            ev = m.get(key)
+            if key in oracle:
+                assert qs.sim.run(until_event=ev) == oracle[key]
+            else:
+                with pytest.raises(KeyError):
+                    qs.sim.run(until_event=ev)
+    qs.sim.run(until=qs.sim.now + 0.1)  # let splits/merges settle
+    # Final state identical to the oracle.
+    assert len(m) == len(oracle)
+    for key, value in oracle.items():
+        assert qs.sim.run(until_event=m.get(key)) == value
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=_map_ops)
+def test_range_invariant_under_churn(ops):
+    """Every object lives in the shard whose range covers its key."""
+    qs = _fresh_qs()
+    m = qs.sharded_map(name="kv")
+    for op in ops:
+        if op[0] == "put":
+            _k, key, value, size_kib = op
+            qs.sim.run(until_event=m.put(key, value, size_kib * KiB))
+        elif op[0] == "delete":
+            try:
+                qs.sim.run(until_event=m.delete(op[1]))
+            except KeyError:
+                pass
+    qs.sim.run(until=qs.sim.now + 0.1)
+    for idx, shard in enumerate(m.shards):
+        lo = shard.lo
+        hi = m.shards[idx + 1].lo if idx + 1 < len(m.shards) else None
+        for key in shard.proclet.keys:
+            if lo is not BOTTOM:
+                assert key >= lo
+            if hi is not None:
+                assert key < hi
+    # los array mirrors the shard list
+    assert [s.lo for s in m.shards] == m._los
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 128), min_size=1, max_size=80),
+)
+def test_vector_bytes_conserved_across_splits(sizes):
+    qs = _fresh_qs()
+    vec = qs.sharded_vector(name="v")
+    events = [vec.append(i, size * KiB) for i, size in enumerate(sizes)]
+    qs.sim.run(until_event=qs.sim.all_of(events))
+    qs.sim.run(until=qs.sim.now + 0.1)
+    assert vec.total_objects == len(sizes)
+    assert vec.total_bytes == pytest.approx(sum(sizes) * KiB)
+    # every element readable with its original value
+    for i in range(len(sizes)):
+        assert qs.sim.run(until_event=vec.get(i)) == i
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pushes=st.lists(st.integers(1, 64), min_size=1, max_size=60),
+)
+def test_queue_conservation(pushes):
+    """Elements out == elements in, regardless of shard churn."""
+    qs = _fresh_qs()
+    q = qs.sharded_queue(name="q", initial_shards=2)
+    events = [q.push(i, size * KiB) for i, size in enumerate(pushes)]
+    qs.sim.run(until_event=qs.sim.all_of(events))
+    qs.sim.run(until=qs.sim.now + 0.1)
+    got = [qs.sim.run(until_event=q.pop()) for _ in range(len(pushes))]
+    assert sorted(got) == list(range(len(pushes)))
+    assert q.length == 0
+    # all buffered bytes released
+    assert sum(s.proclet.heap_bytes for s in q.shards) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    sizes=st.lists(st.integers(1, 512), min_size=2, max_size=40),
+)
+def test_split_point_balances(n, sizes):
+    """split_point produces two non-empty, byte-balanced-ish halves."""
+    qs = make_qs(enable_local_scheduler=False,
+                 enable_global_scheduler=False,
+                 enable_split_merge=False)
+    ref = qs.spawn_memory()
+    sizes = sizes[:n] if len(sizes) >= 2 else sizes
+    for i, size in enumerate(sizes):
+        qs.sim.run(until_event=ref.call("mp_put", i, size * KiB, None))
+    proclet = ref.proclet
+    split = proclet.split_point()
+    lower = [k for k in proclet.keys if k < split]
+    upper = [k for k in proclet.keys if k >= split]
+    assert lower and upper, "both halves must be non-empty"
+    total = proclet.heap_bytes
+    upper_bytes = sum(proclet._objects[k][0] for k in upper)
+    biggest = max(s for s in sizes) * KiB
+    # the imbalance is bounded by the biggest single object
+    assert abs(total / 2 - upper_bytes) <= biggest

@@ -1,0 +1,115 @@
+"""Property-based tests for metric and memory-ledger invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import OutOfMemory
+from repro.metrics import Summary, TimeSeries, percentile
+from repro.units import MiB
+
+from ..conftest import make_qs
+
+
+class TestTimeSeriesProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(-1e6, 1e6)),
+                    min_size=1, max_size=100))
+    def test_bucket_sums_conserve_total(self, samples):
+        samples.sort(key=lambda tv: tv[0])
+        ts = TimeSeries("x")
+        for t, v in samples:
+            ts.record(t, v)
+        buckets = ts.bucket_sums(0.0, 101.0, 7.3)
+        assert sum(v for _t, v in buckets) == pytest.approx(
+            sum(v for _t, v in samples), rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=200),
+           st.floats(0, 100))
+    def test_percentile_bounded_and_monotone(self, xs, p):
+        v = percentile(xs, p)
+        assert min(xs) <= v <= max(xs)
+        assert percentile(xs, 0) == min(xs)
+        assert percentile(xs, 100) == max(xs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=100))
+    def test_summary_orderings(self, xs):
+        s = Summary.of(xs)
+        assert s.minimum <= s.p50 <= s.p90 <= s.p99 <= s.maximum
+        assert s.minimum <= s.mean <= s.maximum
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 50), st.floats(-100, 100)),
+                    min_size=1, max_size=50))
+    def test_mean_over_bounded_by_extremes(self, samples):
+        samples.sort(key=lambda tv: tv[0])
+        ts = TimeSeries("x")
+        for t, v in samples:
+            ts.record(t, v)
+        m = ts.mean_over(0.0, 60.0)
+        lo = min(0.0, min(v for _t, v in samples))
+        hi = max(0.0, max(v for _t, v in samples))
+        assert lo - 1e-9 <= m <= hi + 1e-9
+
+
+class TestMemoryLedgerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("reserve"), st.integers(1, 512)),
+        st.tuples(st.just("release"), st.integers(1, 512)),
+    ), min_size=1, max_size=60))
+    def test_ledger_never_corrupts(self, ops):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        mem = qs.machines[0].memory
+        shadow = 0.0
+        for kind, mib in ops:
+            nbytes = mib * MiB
+            if kind == "reserve":
+                if nbytes <= mem.free:
+                    mem.reserve(nbytes)
+                    shadow += nbytes
+                else:
+                    with pytest.raises(OutOfMemory):
+                        mem.reserve(nbytes)
+            else:
+                if nbytes <= shadow:
+                    mem.release(nbytes)
+                    shadow -= nbytes
+                else:
+                    with pytest.raises(ValueError):
+                        mem.release(nbytes)
+            assert mem.used == pytest.approx(shadow)
+            assert 0.0 <= mem.used <= mem.capacity
+            assert 0.0 <= mem.pressure <= 1.0
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_same_seed_same_trajectory(self, seed):
+        """Two runs with one seed produce identical event timelines."""
+
+        def run():
+            qs = make_qs(enable_local_scheduler=False,
+                         enable_global_scheduler=False)
+            rng = qs.sim.random.stream("wl")
+            vec = qs.sharded_vector(name="v")
+            events = [vec.append(i, int(rng.random() * 256 + 1) * 1024)
+                      for i in range(50)]
+            qs.sim.run(until_event=qs.sim.all_of(events))
+            qs.sim.run(until=qs.sim.now + 0.05)
+            return (qs.sim.now, qs.sim.processed_events,
+                    vec.shard_count, vec.total_bytes)
+
+        import random as _random
+
+        state = _random.getstate()
+        a = run()
+        _random.seed(seed)  # perturb global RNG; must not matter
+        b = run()
+        _random.setstate(state)
+        assert a == b

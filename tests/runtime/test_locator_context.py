@@ -1,0 +1,119 @@
+"""Unit tests for the locator and execution contexts."""
+
+import pytest
+
+from repro import Proclet
+from repro.runtime import Locator
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+class TestLocator:
+    def test_place_lookup_move_remove(self, qs):
+        loc = Locator()
+        m0, m1 = qs.machines
+        loc.place(1, m0)
+        assert loc.lookup(1) is m0
+        assert loc.proclets_on(m0) == [1]
+        loc.move(1, m1)
+        assert loc.lookup(1) is m1
+        assert loc.proclets_on(m0) == []
+        assert loc.proclets_on(m1) == [1]
+        loc.remove(1)
+        assert len(loc) == 0
+
+    def test_double_place_rejected(self, qs):
+        loc = Locator()
+        loc.place(1, qs.machines[0])
+        with pytest.raises(ValueError):
+            loc.place(1, qs.machines[1])
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            Locator().lookup(42)
+
+    def test_proclets_on_sorted(self, qs):
+        loc = Locator()
+        for pid in (5, 1, 3):
+            loc.place(pid, qs.machines[0])
+        assert loc.proclets_on(qs.machines[0]) == [1, 3, 5]
+
+
+class TestContext:
+    def test_ctx_machine_tracks_migration(self, qs):
+        m0, m1 = qs.machines
+        observed = []
+
+        class Mover(Proclet):
+            def watch(self, ctx):
+                observed.append(ctx.machine.name)
+                yield ctx.sleep(0.050)
+                observed.append(ctx.machine.name)
+
+        ref = qs.spawn(Mover(), m0)
+        done = ref.call("watch")
+        qs.run(until=0.010)
+        qs.run(until_event=qs.runtime.migrate(ref.proclet, m1))
+        qs.run(until_event=done)
+        assert observed == ["m0", "m1"]
+
+    def test_ctx_alloc_free(self, qs):
+        class Alloc(Proclet):
+            def work(self, ctx):
+                ctx.alloc(1024)
+                yield ctx.cpu(1e-6)
+                ctx.free(512)
+
+        ref = qs.spawn(Alloc(), qs.machines[0])
+        qs.run(until_event=ref.call("work"))
+        assert ref.proclet.heap_bytes == 512
+
+    def test_ctx_send_charges_fabric(self, qs):
+        m0, m1 = qs.machines
+        nbytes = 50 * 2**20
+
+        class Sender(Proclet):
+            def send(self, ctx, dst):
+                yield ctx.send(dst, nbytes)
+
+        ref = qs.spawn(Sender(), m0)
+        t0 = qs.sim.now
+        qs.run(until_event=ref.call("send", m1))
+        assert qs.sim.now - t0 >= nbytes / m0.nic.bandwidth
+
+    def test_ctx_rng_is_seeded_stream(self, qs):
+        class R(Proclet):
+            def draw(self, ctx):
+                yield ctx.cpu(1e-9)
+                return ctx.rng("mystream").random()
+
+        ref = qs.spawn(R(), qs.machines[0])
+        a = qs.run(until_event=ref.call("draw"))
+        assert isinstance(a, float)
+
+    def test_nested_calls_compose(self, qs):
+        m0, m1 = qs.machines
+
+        class Leaf(Proclet):
+            def double(self, ctx, x):
+                yield ctx.cpu(1e-6)
+                return 2 * x
+
+        class Branch(Proclet):
+            def compute(self, ctx, leaf, x):
+                y = yield ctx.call(leaf, "double", x)
+                z = yield ctx.call(leaf, "double", y)
+                return z
+
+        leaf = qs.spawn(Leaf(), m1)
+        branch = qs.spawn(Branch(), m0)
+        result = qs.run(until_event=branch.call("compute", leaf, 5))
+        assert result == 20
+        assert qs.runtime.remote_calls >= 2

@@ -1,0 +1,213 @@
+"""Tests for the proclet migration mechanism — the heart of fungibility."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    MachineSpec,
+    Priority,
+    symmetric_cluster,
+)
+from repro.runtime import (
+    MigrationConfig,
+    MigrationFailed,
+    NuRuntime,
+    Proclet,
+    ProcletStatus,
+)
+from repro.units import GiB, MS, MiB
+
+
+class Holder(Proclet):
+    def __init__(self, heap=0):
+        super().__init__()
+        self._initial = heap
+
+    def on_start(self, ctx):
+        if self._initial:
+            ctx.alloc(self._initial)
+
+    def ping(self, ctx):
+        yield ctx.cpu(1e-7)
+        return ctx.machine.name
+
+    def long_work(self, ctx, seconds):
+        yield ctx.cpu(seconds)
+        return ctx.machine.name
+
+
+@pytest.fixture
+def rt():
+    cluster = Cluster(symmetric_cluster(2, cores=8, dram_bytes=4 * GiB))
+    return NuRuntime(cluster)
+
+
+class TestBasicMigration:
+    def test_migrate_moves_proclet_and_memory(self, rt):
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=10 * MiB), m0)
+        rt.sim.run(until=0.001)
+        used0 = m0.memory.used
+        ev = rt.migrate(ref, m1)
+        latency = rt.sim.run(until_event=ev)
+        p = ref.proclet
+        assert p.machine is m1
+        assert ref.machine is m1
+        assert m0.memory.used == pytest.approx(used0 - p.footprint)
+        assert m1.memory.used >= p.footprint
+        assert p.migrations == 1
+        assert latency > 0
+
+    def test_10mib_proclet_migrates_in_about_1ms(self, rt):
+        """Calibration check against Nu's published number (§2)."""
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=10 * MiB), m0)
+        rt.sim.run(until=0.001)
+        latency = rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert 0.5 * MS < latency < 3 * MS
+
+    def test_small_proclet_migrates_submillisecond(self, rt):
+        """Fig. 1's claim: filler proclets with small state move <1ms."""
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=64 * 1024), m0)
+        rt.sim.run(until=0.001)
+        latency = rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert latency < 1 * MS
+
+    def test_migrate_to_same_machine_is_noop(self, rt):
+        m0 = rt.cluster.machine(0)
+        ref = rt.spawn(Holder(), m0)
+        latency = rt.sim.run(until_event=rt.migrate(ref, m0))
+        assert latency == 0.0
+        assert ref.proclet.migrations == 0
+
+    def test_migration_latency_scales_with_heap(self, rt):
+        m0, m1 = rt.cluster.machines
+
+        def migrate_with_heap(heap):
+            ref = rt.spawn(Holder(heap=heap), m0)
+            rt.sim.run(until=rt.sim.now + 0.001)
+            lat = rt.sim.run(until_event=rt.migrate(ref, m1))
+            rt.sim.run(until_event=rt.migrate(ref, m0))  # move back
+            rt.destroy(ref)
+            return lat
+
+        small = migrate_with_heap(1 * MiB)
+        large = migrate_with_heap(100 * MiB)
+        assert large > small * 10
+
+    def test_on_migrated_hook(self, rt):
+        m0, m1 = rt.cluster.machines
+        calls = []
+
+        class Hooked(Proclet):
+            def on_migrated(self, src, dst):
+                calls.append((src.name, dst.name))
+
+        ref = rt.spawn(Hooked(), m0)
+        rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert calls == [("m0", "m1")]
+
+
+class TestMigrationSemantics:
+    def test_invocations_block_during_migration(self, rt):
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=200 * MiB), m0)
+        rt.sim.run(until=0.001)
+        mig = rt.migrate(ref, m1)
+        rt.sim.run(until=0.0015)  # migration is now in flight
+        assert ref.proclet.status is ProcletStatus.MIGRATING
+        call = ref.call("ping")
+        rt.sim.run(until=0.003)
+        assert not call.triggered  # still gated
+        result = rt.sim.run(until_event=call)
+        assert result == "m1"  # executed at the destination
+        assert mig.triggered
+
+    def test_inflight_cpu_work_follows_the_proclet(self, rt):
+        """A thread mid-computation pauses, moves, and finishes remotely."""
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(), m0)
+        call = ref.call("long_work", 0.050, caller_machine=m0)
+        rt.sim.run(until=0.010)  # 10ms of 50ms done
+        rt.sim.run(until_event=rt.migrate(ref, m1))
+        result = rt.sim.run(until_event=call)
+        assert result == "m1"
+        # Total time ~ 50ms work + migration pause; well under 2x.
+        assert rt.sim.now < 0.1
+
+    def test_work_is_not_lost_nor_duplicated(self, rt):
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(), m0)
+        call = ref.call("long_work", 0.050, caller_machine=m0)
+        rt.sim.run(until=0.030)
+        mig_latency = rt.sim.run(until_event=rt.migrate(ref, m1))
+        rt.sim.run(until_event=call)
+        # 50ms of work + migration stall, not 80ms (restart) and
+        # not 50ms-minus-stall (free progress while paused).
+        expected = 0.050 + mig_latency
+        assert rt.sim.now == pytest.approx(expected, abs=2e-4)
+
+    def test_migrating_twice_concurrently_fails(self, rt):
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        rt.migrate(ref, m1)
+        rt.sim.run(until=0.0012)
+        second = rt.migrate(ref, m1)
+        with pytest.raises(MigrationFailed):
+            rt.sim.run(until_event=second)
+
+    def test_migration_to_full_machine_aborts_cleanly(self):
+        spec = ClusterSpec(machines=[
+            MachineSpec(name="big", cores=8, dram_bytes=4 * GiB),
+            MachineSpec(name="tiny", cores=8, dram_bytes=1 * MiB),
+        ])
+        rt = NuRuntime(Cluster(spec))
+        big, tiny = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=100 * MiB), big)
+        rt.sim.run(until=0.001)
+        ev = rt.migrate(ref, tiny)
+        with pytest.raises(MigrationFailed):
+            rt.sim.run(until_event=ev)
+        p = ref.proclet
+        assert p.machine is big
+        assert p.status is ProcletStatus.RUNNING
+        # and it still serves calls
+        result = rt.sim.run(until_event=ref.call("ping"))
+        assert result == "big"
+
+    def test_migration_metrics_recorded(self, rt):
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=1 * MiB), m0)
+        rt.sim.run(until=0.001)
+        rt.sim.run(until_event=rt.migrate(ref, m1))
+        lats = rt.metrics.samples("runtime.migration.latency")
+        assert len(lats) == 1
+        assert rt.migration.migrations_completed == 1
+
+
+class TestMigrationUnderContention:
+    def test_migration_shares_nic_bandwidth(self, rt):
+        m0, m1 = rt.cluster.machines
+        # Saturate m0's NIC with a competing transfer.
+        rt.fabric.transfer(m0, m1, int(0.1 * m0.nic.bandwidth))
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        lat = rt.sim.run(until_event=rt.migrate(ref, m1))
+        alone = (ref.proclet.footprint / m0.nic.bandwidth)
+        assert lat > alone  # slowed by the contending transfer
+
+    def test_custom_migration_config(self):
+        cluster = Cluster(symmetric_cluster(2, cores=4, dram_bytes=GiB))
+        rt = NuRuntime(cluster, MigrationConfig(fixed_overhead=0.01,
+                                                resume_overhead=0.01))
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(), m0)
+        lat = rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert lat >= 0.02
+
+    def test_bad_migration_config(self):
+        with pytest.raises(ValueError):
+            MigrationConfig(fixed_overhead=-1.0)

@@ -1,0 +1,239 @@
+"""Unit tests for the fluid scheduler (CPU/NIC/IOPS rate model)."""
+
+import math
+
+import pytest
+
+from repro.sim import FluidScheduler, Simulator, UnboundResource
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def cpu(sim, cores=4.0):
+    return FluidScheduler(sim, cores, name="cpu")
+
+
+class TestSingleItem:
+    def test_full_rate_completion_time(self, sim):
+        sched = cpu(sim, cores=2.0)
+        item = sched.submit(work=4.0, demand=2.0)
+        sim.run(until_event=item.done)
+        assert sim.now == pytest.approx(2.0)
+        assert item.finished_at == pytest.approx(2.0)
+
+    def test_demand_caps_rate(self, sim):
+        sched = cpu(sim, cores=8.0)
+        item = sched.submit(work=2.0, demand=1.0)  # one thread
+        assert item.rate == pytest.approx(1.0)
+        sim.run(until_event=item.done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_zero_work_completes_immediately(self, sim):
+        sched = cpu(sim)
+        item = sched.submit(work=0.0)
+        assert item.done.triggered
+        assert not item.active
+
+    def test_negative_work_rejected(self, sim):
+        with pytest.raises(ValueError):
+            cpu(sim).submit(work=-1.0)
+
+    def test_nonpositive_demand_rejected(self, sim):
+        with pytest.raises(ValueError):
+            cpu(sim).submit(work=1.0, demand=0.0)
+
+
+class TestFairSharing:
+    def test_equal_items_share_equally(self, sim):
+        sched = cpu(sim, cores=2.0)
+        a = sched.submit(work=2.0, demand=2.0)
+        b = sched.submit(work=2.0, demand=2.0)
+        assert a.rate == pytest.approx(1.0)
+        assert b.rate == pytest.approx(1.0)
+        sim.run()
+        assert a.finished_at == pytest.approx(2.0)
+        assert b.finished_at == pytest.approx(2.0)
+
+    def test_water_filling_respects_small_demands(self, sim):
+        sched = cpu(sim, cores=10.0)
+        small = sched.submit(work=100.0, demand=1.0)
+        big = sched.submit(work=100.0, demand=20.0)
+        assert small.rate == pytest.approx(1.0)
+        assert big.rate == pytest.approx(9.0)
+
+    def test_rates_rebalance_on_completion(self, sim):
+        sched = cpu(sim, cores=2.0)
+        short = sched.submit(work=1.0, demand=2.0)
+        long = sched.submit(work=3.0, demand=2.0)
+        # both at 1.0 until short finishes at t=1, then long at 2.0
+        sim.run(until_event=short.done)
+        assert sim.now == pytest.approx(1.0)
+        sim.run(until_event=long.done)
+        # long did 1 unit by t=1, then 2 more at rate 2 -> t=2
+        assert sim.now == pytest.approx(2.0)
+
+    def test_load_never_exceeds_capacity(self, sim):
+        sched = cpu(sim, cores=3.0)
+        for i in range(10):
+            sched.submit(work=5.0, demand=1.0)
+        assert sched.load == pytest.approx(3.0)
+
+
+class TestPriorities:
+    def test_high_priority_preempts(self, sim):
+        sched = cpu(sim, cores=2.0)
+        low = sched.submit(work=4.0, demand=2.0, priority=2)
+        assert low.rate == pytest.approx(2.0)
+        hi = sched.submit(work=2.0, demand=2.0, priority=0)
+        assert hi.rate == pytest.approx(2.0)
+        assert low.rate == pytest.approx(0.0)
+        assert low.starved
+        sim.run(until_event=hi.done)
+        assert sim.now == pytest.approx(1.0)
+        assert low.rate == pytest.approx(2.0)
+
+    def test_leftover_flows_to_lower_priority(self, sim):
+        sched = cpu(sim, cores=4.0)
+        hi = sched.submit(work=100.0, demand=1.0, priority=0)
+        low = sched.submit(work=100.0, demand=4.0, priority=1)
+        assert hi.rate == pytest.approx(1.0)
+        assert low.rate == pytest.approx(3.0)
+
+    def test_preempted_work_is_preserved(self, sim):
+        sched = cpu(sim, cores=1.0)
+        low = sched.submit(work=2.0, demand=1.0, priority=2)
+        sim.run(until=1.0)  # low has done 1.0 of 2.0
+        hold = sched.hold(demand=1.0, priority=0)
+        sim.run(until=5.0)  # starved for 4s
+        sched.cancel(hold)
+        sim.run(until_event=low.done)
+        assert sim.now == pytest.approx(6.0)
+
+    def test_queueing_delay_signal(self, sim):
+        sched = cpu(sim, cores=1.0)
+        sched.hold(demand=1.0, priority=0)
+        low = sched.submit(work=1.0, demand=1.0, priority=1)
+        sim.run(until=0.003)
+        assert low.starved
+        assert low.queueing_delay(sim.now) == pytest.approx(0.003)
+
+
+class TestHoldAndDetach:
+    def test_hold_never_completes(self, sim):
+        sched = cpu(sim)
+        h = sched.hold(demand=1.0)
+        sim.run(until=100.0)
+        assert not h.done.triggered
+        assert h.remaining is math.inf
+
+    def test_detach_preserves_remaining(self, sim):
+        sched = cpu(sim, cores=1.0)
+        item = sched.submit(work=3.0, demand=1.0)
+        sim.run(until=1.0)
+        remaining = sched.detach(item)
+        assert remaining == pytest.approx(2.0)
+        assert not item.active
+        sim.run(until=10.0)  # no progress while detached
+        other = cpu(sim, cores=2.0)
+        other.attach(item)
+        sim.run(until_event=item.done)
+        assert sim.now == pytest.approx(12.0)  # 2.0 work at demand 1.0
+
+    def test_detach_unknown_item_raises(self, sim):
+        a, b = cpu(sim), cpu(sim)
+        item = a.submit(work=1.0)
+        with pytest.raises(UnboundResource):
+            b.detach(item)
+
+    def test_attach_completed_item_raises(self, sim):
+        sched = cpu(sim)
+        item = sched.submit(work=0.5, demand=1.0)
+        sim.run(until_event=item.done)
+        with pytest.raises(UnboundResource):
+            sched.attach(item)
+
+    def test_cancelled_timer_does_not_complete_item(self, sim):
+        sched = cpu(sim, cores=1.0)
+        item = sched.submit(work=1.0, demand=1.0)
+        sim.run(until=0.5)
+        sched.cancel(item)
+        sim.run(until=10.0)
+        assert not item.done.triggered
+
+
+class TestCapacityChange:
+    def test_capacity_increase_speeds_completion(self, sim):
+        sched = cpu(sim, cores=1.0)
+        item = sched.submit(work=4.0, demand=4.0)
+        sim.run(until=1.0)
+        sched.set_capacity(3.0)
+        sim.run(until_event=item.done)
+        assert sim.now == pytest.approx(2.0)  # 1 + 3/3
+
+    def test_capacity_zero_starves_all(self, sim):
+        sched = cpu(sim, cores=2.0)
+        item = sched.submit(work=1.0, demand=1.0)
+        sched.set_capacity(0.0)
+        sim.run(until=10.0)
+        assert not item.done.triggered
+        assert item.starved
+
+
+class TestAccounting:
+    def test_served_integral_tracks_work(self, sim):
+        sched = cpu(sim, cores=2.0)
+        sched.submit(work=3.0, demand=2.0)
+        sim.run(until=5.0)
+        assert sched.utilization_since(0.0, 0.0) == pytest.approx(0.3)
+
+    def test_per_priority_accounting(self, sim):
+        sched = cpu(sim, cores=2.0)
+        sched.submit(work=2.0, demand=1.0, priority=0)
+        sched.submit(work=2.0, demand=1.0, priority=1)
+        sim.run(until=2.0)
+        sched._settle()
+        assert sched.served_by_priority[0] == pytest.approx(2.0)
+        assert sched.served_by_priority[1] == pytest.approx(2.0)
+
+    def test_free_capacity_respects_priority(self, sim):
+        sched = cpu(sim, cores=4.0)
+        sched.hold(demand=1.0, priority=0)
+        sched.hold(demand=2.0, priority=1)
+        # a new priority-0 item sees everything but the prio-0 hold
+        assert sched.free_capacity(priority=0) == pytest.approx(3.0)
+        # a new priority-1 (or lower) item sees 4 - 1 - 2
+        assert sched.free_capacity(priority=1) == pytest.approx(1.0)
+        assert sched.free_capacity(priority=2) == pytest.approx(1.0)
+
+    def test_observer_called_on_reassign(self, sim):
+        sched = cpu(sim)
+        calls = []
+        sched.add_observer(lambda s: calls.append(sim.now))
+        sched.submit(work=1.0)
+        assert calls
+
+
+class TestManyItems:
+    def test_fifo_completion_of_identical_items(self, sim):
+        sched = cpu(sim, cores=1.0)
+        items = [sched.submit(work=1.0, demand=1.0) for _ in range(5)]
+        sim.run()
+        # processor sharing: all finish simultaneously at t=5
+        for it in items:
+            assert it.finished_at == pytest.approx(5.0)
+
+    def test_mass_conservation(self, sim):
+        """Total served work equals total submitted work."""
+        sched = cpu(sim, cores=3.0)
+        rng = sim.random.stream("t")
+        total = 0.0
+        for i in range(50):
+            w = 0.1 + rng.random()
+            total += w
+            sched.submit(work=w, demand=1.0 + rng.random() * 3)
+        sim.run()
+        sched._settle()
+        assert sched.served_integral == pytest.approx(total, rel=1e-6)

@@ -1,0 +1,96 @@
+"""Edge-case tests for the simulator's scheduling API."""
+
+import math
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSchedulingEdges:
+    def test_schedule_into_past_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(ValueError):
+            sim._schedule(ev, delay=-1.0)
+
+    def test_call_at_past_rejected(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_peek_empty(self, sim):
+        assert sim.peek() == math.inf
+
+    def test_peek_next_event_time(self, sim):
+        sim.timeout(3.0)
+        sim.timeout(1.0)
+        assert sim.peek() == 1.0
+
+    def test_processed_events_counts(self, sim):
+        for _ in range(5):
+            sim.timeout(1.0)
+        sim.run()
+        assert sim.processed_events == 5
+
+    def test_run_until_event_already_processed(self, sim):
+        ev = sim.timeout(1.0, value="x")
+        sim.run()
+        assert sim.run(until_event=ev) == "x"
+
+    def test_run_until_exactly_event_time(self, sim):
+        fired = []
+        sim.call_at(2.0, fired.append, 1)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_spawn_alias(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.spawn(proc())
+        assert sim.run(until_event=p) == "ok"
+
+    def test_clock_advances_to_until_with_no_events(self, sim):
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_repr(self, sim):
+        assert "Simulator" in repr(sim)
+
+    def test_start_time(self):
+        sim = Simulator(start=10.0)
+        assert sim.now == 10.0
+        t = sim.timeout(1.0)
+        sim.run()
+        assert sim.now == 11.0
+
+
+class TestEventOrderingAtSameTime:
+    def test_fifo_within_timestamp(self, sim):
+        order = []
+        for i in range(10):
+            sim.call_in(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_nested_zero_delay_events_make_progress(self, sim):
+        """Zero-delay chains execute in bounded steps per timestamp."""
+        count = [0]
+
+        def chain():
+            count[0] += 1
+            if count[0] < 100:
+                sim.call_in(0.0, chain)
+
+        sim.call_in(0.0, chain)
+        sim.run(until=1.0)
+        assert count[0] == 100
+        assert sim.now == 1.0

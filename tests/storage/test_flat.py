@@ -1,0 +1,139 @@
+"""Tests for storage proclets and the flat storage abstraction."""
+
+import pytest
+
+from repro import MachineSpec, StorageSpec
+from repro.cluster import OutOfStorage
+from repro.units import GiB, KiB, MiB
+
+from ..conftest import make_qs, storage_machine
+
+
+@pytest.fixture
+def qs():
+    return make_qs(machines=[
+        storage_machine(name="s0", capacity=8 * GiB, iops=10_000),
+        storage_machine(name="s1", capacity=8 * GiB, iops=10_000),
+    ], enable_local_scheduler=False, enable_global_scheduler=False,
+        enable_split_merge=False)
+
+
+class TestStorageProclet:
+    def test_write_read_roundtrip(self, qs):
+        ref = qs.spawn_storage(name="sp")
+        qs.sim.run(until_event=ref.call("sp_write", "obj", 1 * MiB, "data"))
+        assert qs.sim.run(until_event=ref.call("sp_read", "obj")) == "data"
+        assert ref.proclet.reads == 1
+        assert ref.proclet.writes == 1
+
+    def test_write_charges_device_capacity(self, qs):
+        ref = qs.spawn_storage(machine=qs.machines[0])
+        device = qs.machines[0].storage
+        free0 = device.free
+        qs.sim.run(until_event=ref.call("sp_write", "a", 100 * MiB, None))
+        assert device.free == pytest.approx(free0 - 100 * MiB)
+
+    def test_overwrite_releases_old_bytes(self, qs):
+        ref = qs.spawn_storage(machine=qs.machines[0])
+        device = qs.machines[0].storage
+        free0 = device.free
+        qs.sim.run(until_event=ref.call("sp_write", "a", 100 * MiB, None))
+        qs.sim.run(until_event=ref.call("sp_write", "a", 10 * MiB, None))
+        assert device.free == pytest.approx(free0 - 10 * MiB)
+        assert ref.proclet.object_count == 1
+
+    def test_delete_releases(self, qs):
+        ref = qs.spawn_storage(machine=qs.machines[0])
+        device = qs.machines[0].storage
+        free0 = device.free
+        qs.sim.run(until_event=ref.call("sp_write", "a", 1 * MiB, None))
+        qs.sim.run(until_event=ref.call("sp_delete", "a"))
+        assert device.free == pytest.approx(free0)
+
+    def test_read_missing_fails(self, qs):
+        ref = qs.spawn_storage()
+        with pytest.raises(KeyError):
+            qs.sim.run(until_event=ref.call("sp_read", "ghost"))
+
+    def test_capacity_exhaustion(self, qs):
+        ref = qs.spawn_storage(machine=qs.machines[0])
+        with pytest.raises(OutOfStorage):
+            qs.sim.run(until_event=ref.call("sp_write", "big",
+                                            9 * GiB, None))
+
+    def test_iops_limit_paces_small_reads(self, qs):
+        ref = qs.spawn_storage(machine=qs.machines[0])
+        qs.sim.run(until_event=ref.call("sp_write", "k", 4 * KiB, None))
+        t0 = qs.sim.now
+        events = [ref.call("sp_read", "k") for _ in range(100)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        # 100 ops at 10k IOPS >= 10ms
+        assert qs.sim.now - t0 >= 0.01
+
+
+class TestFlatStorage:
+    def test_spreads_proclets_over_devices(self, qs):
+        fs = qs.flat_storage(proclets_per_device=4)
+        machines = {ref.machine.name for ref in fs.proclets}
+        assert machines == {"s0", "s1"}
+        assert len(fs.proclets) == 8
+
+    def test_write_read_delete(self, qs):
+        fs = qs.flat_storage()
+        qs.sim.run(until_event=fs.write("obj-1", 1 * MiB, "hello"))
+        assert qs.sim.run(until_event=fs.read("obj-1")) == "hello"
+        assert qs.sim.run(until_event=fs.contains("obj-1")) is True
+        qs.sim.run(until_event=fs.delete("obj-1"))
+        assert qs.sim.run(until_event=fs.contains("obj-1")) is False
+
+    def test_objects_spread_by_hash(self, qs):
+        fs = qs.flat_storage()
+        events = [fs.write(f"k{i}", 64 * KiB, None) for i in range(64)]
+        qs.sim.run(until_event=qs.sim.all_of(events))
+        populated = sum(1 for ref in fs.proclets
+                        if ref.proclet.object_count > 0)
+        assert populated >= len(fs.proclets) // 2
+        assert fs.object_count == 64
+
+    def test_aggregate_iops_speeds_up_reads(self):
+        """The §3.2 claim: spreading combines capacity AND IOPS."""
+
+        def timed_reads(n_machines):
+            qs = make_qs(machines=[
+                storage_machine(name=f"s{i}", capacity=8 * GiB, iops=1000)
+                for i in range(n_machines)
+            ], enable_local_scheduler=False, enable_global_scheduler=False,
+                enable_split_merge=False)
+            fs = qs.flat_storage()
+            writes = [fs.write(f"k{i}", 4 * KiB, None) for i in range(64)]
+            qs.sim.run(until_event=qs.sim.all_of(writes))
+            t0 = qs.sim.now
+            reads = [fs.read(f"k{i}") for i in range(64)]
+            qs.sim.run(until_event=qs.sim.all_of(reads))
+            return qs.sim.now - t0
+
+        one = timed_reads(1)
+        four = timed_reads(4)
+        assert four < one / 2
+
+    def test_stats(self, qs):
+        fs = qs.flat_storage()
+        assert fs.total_capacity == pytest.approx(16 * GiB)
+        assert fs.aggregate_iops == pytest.approx(20_000)
+
+    def test_requires_storage_machines(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        with pytest.raises(RuntimeError):
+            qs.flat_storage()
+
+    def test_validation(self, qs):
+        with pytest.raises(ValueError):
+            qs.flat_storage(proclets_per_device=0)
+
+    def test_destroy(self, qs):
+        fs = qs.flat_storage()
+        qs.sim.run(until_event=fs.write("k", 1 * MiB, None))
+        fs.destroy()
+        assert fs.proclets == []

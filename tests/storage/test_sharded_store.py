@@ -1,0 +1,115 @@
+"""Tests for the sharded persistent store (§3.3 applied to storage)."""
+
+import pytest
+
+from repro.storage import ShardedStore
+from repro.units import GiB, MiB
+
+from ..conftest import make_qs, storage_machine
+
+
+@pytest.fixture
+def qs():
+    return make_qs(machines=[
+        storage_machine(name="s0", capacity=16 * GiB, iops=50_000),
+        storage_machine(name="s1", capacity=16 * GiB, iops=50_000),
+    ], enable_local_scheduler=False, enable_global_scheduler=False,
+        enable_split_merge=False)
+
+
+def store_for(qs, max_mb=64, min_mb=8):
+    return ShardedStore(qs, name="st", max_shard_bytes=max_mb * MiB,
+                        min_shard_bytes=min_mb * MiB)
+
+
+class TestBasics:
+    def test_write_read_roundtrip(self, qs):
+        st = store_for(qs)
+        qs.run(until_event=st.write("k1", 4 * MiB, "payload"))
+        assert qs.run(until_event=st.read("k1")) == "payload"
+        assert st.total_objects == 1
+
+    def test_delete_releases_device(self, qs):
+        st = store_for(qs)
+        dev = st.shards[0].ref.machine.storage
+        free0 = dev.free
+        qs.run(until_event=st.write("k", 8 * MiB, None))
+        qs.run(until_event=st.delete("k"))
+        assert dev.free == pytest.approx(free0)
+        with pytest.raises(KeyError):
+            qs.run(until_event=st.read("k"))
+
+    def test_overwrite_adjusts_device(self, qs):
+        st = store_for(qs)
+        dev = st.shards[0].ref.machine.storage
+        free0 = dev.free
+        qs.run(until_event=st.write("k", 8 * MiB, None))
+        qs.run(until_event=st.write("k", 2 * MiB, None))
+        assert dev.free == pytest.approx(free0 - 2 * MiB)
+
+    def test_validation(self, qs):
+        with pytest.raises(ValueError):
+            ShardedStore(qs, max_shard_bytes=1.0, min_shard_bytes=2.0)
+
+    def test_io_takes_device_time(self, qs):
+        st = store_for(qs)
+        t0 = qs.sim.now
+        qs.run(until_event=st.write("k", 64 * MiB, None))
+        write_bw = st.shards[0].ref.machine.storage.spec.write_bandwidth
+        assert qs.sim.now - t0 >= 64 * MiB / write_bw
+
+
+class TestStorageSplitting:
+    def test_ingest_splits_shards(self, qs):
+        st = store_for(qs, max_mb=32, min_mb=4)
+        for i in range(12):
+            qs.run(until_event=st.write(f"k{i:03d}", 4 * MiB, i))
+        qs.run(until=qs.sim.now + 1.0)
+        assert st.shard_count >= 2
+        assert st.splits >= 1
+        for shard in st.shards:
+            assert shard.proclet.stored_bytes <= 33 * MiB
+        # all readable after splits
+        for i in range(12):
+            assert qs.run(until_event=st.read(f"k{i:03d}")) == i
+
+    def test_split_spreads_across_devices(self, qs):
+        st = store_for(qs, max_mb=32, min_mb=4)
+        for i in range(20):
+            qs.run(until_event=st.write(f"k{i:03d}", 4 * MiB, i))
+        qs.run(until=qs.sim.now + 2.0)
+        machines = {m.name for m in st.shard_machines()}
+        assert machines == {"s0", "s1"}, \
+            "splits should land on the other device"
+
+    def test_deletions_trigger_merge(self, qs):
+        st = store_for(qs, max_mb=32, min_mb=8)
+        for i in range(16):
+            qs.run(until_event=st.write(f"k{i:03d}", 4 * MiB, i))
+        qs.run(until=qs.sim.now + 2.0)
+        shards_before = st.shard_count
+        assert shards_before >= 2
+        for i in range(14):
+            qs.run(until_event=st.delete(f"k{i:03d}"))
+        qs.run(until=qs.sim.now + 2.0)
+        assert st.shard_count < shards_before
+        assert st.merges >= 1
+        for i in range(14, 16):
+            assert qs.run(until_event=st.read(f"k{i:03d}")) == i
+
+    def test_bytes_conserved_across_churn(self, qs):
+        st = store_for(qs, max_mb=16, min_mb=2)
+        total = 0
+        for i in range(20):
+            qs.run(until_event=st.write(f"k{i:03d}", 2 * MiB, i))
+            total += 2 * MiB
+        qs.run(until=qs.sim.now + 2.0)
+        assert st.total_bytes == pytest.approx(total)
+        device_used = sum(m.storage.used for m in qs.machines)
+        assert device_used == pytest.approx(total)
+
+    def test_destroy(self, qs):
+        st = store_for(qs)
+        qs.run(until_event=st.write("k", 1 * MiB, None))
+        st.destroy()
+        assert st.shard_count == 0

@@ -1,0 +1,97 @@
+"""Tests for the terminal-plot helpers and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.viz import histogram, sparkline, step_plot
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_explicit_bounds(self):
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s in "▄▅"
+
+
+class TestStepPlot:
+    def test_empty(self):
+        assert "empty" in step_plot([])
+
+    def test_degenerate(self):
+        assert "degenerate" in step_plot([(1.0, 2.0)])
+
+    def test_shape(self):
+        series = [(i * 0.001, float(i % 4)) for i in range(100)]
+        out = step_plot(series, width=40, height=5, label="test")
+        lines = out.splitlines()
+        assert lines[0] == "test"
+        assert len(lines) == 1 + 5 + 2  # label + rows + axis + footer
+        assert "*" in out
+
+    def test_square_wave_visible(self):
+        series = []
+        for i in range(200):
+            series.append((i * 0.001, 8.0 if (i // 50) % 2 == 0 else 4.0))
+        out = step_plot(series, width=60, height=6)
+        top_row = out.splitlines()[0]
+        # the top row must alternate: stars where value is 8
+        assert "*" in top_row
+        assert " " in top_row[10:]
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert "no samples" in histogram([])
+
+    def test_single_value(self):
+        assert "samples" in histogram([1.0, 1.0])
+
+    def test_counts_sum(self):
+        values = [0.1 * i for i in range(100)]
+        out = histogram(values, bins=10)
+        total = sum(int(line.rsplit(" ", 1)[-1])
+                    for line in out.splitlines())
+        assert total == 100
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        for cmd in ("fig1", "fig2", "fig3", "ablations"):
+            args = parser.parse_args([cmd] if cmd != "fig2"
+                                     else ["fig2", "--images", "10"])
+            assert args.command == cmd
+
+    def test_fig1_runs(self, capsys):
+        rc = main(["fig1", "--duration", "0.04"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG1" in out
+        assert "fungible" in out
+
+    def test_fig3_runs(self, capsys):
+        rc = main(["fig3", "--duration", "0.45"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG3" in out
+
+    def test_fig2_runs_tiny(self, capsys):
+        rc = main(["fig2", "--images", "120"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG2" in out
+        assert "baseline" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
