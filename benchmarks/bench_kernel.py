@@ -1,0 +1,314 @@
+"""Microbenchmarks for the DES/fluid kernel hot path.
+
+Unlike the ``bench_fig*`` suites (which reproduce paper figures), this
+file measures the *simulator itself*: how many events per second the
+kernel sustains under the access patterns every experiment funnels
+through — bursty submit/cancel churn, many-flow fair sharing, deep
+priority stacks, and timer storms that stress the event heap.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--quick] \
+        [--json OUT.json] [--check BENCH_kernel.json]
+
+``--check`` compares the measured events/sec against the committed
+baseline (the ``after.quick`` section of ``BENCH_kernel.json``) and
+exits non-zero on a regression beyond ``--tolerance`` (default 20%),
+which is how CI gates kernel performance.
+
+Only public scheduler/simulator API is used, so the suite runs
+unchanged against older kernels — that is how the ``before`` numbers
+in ``BENCH_kernel.json`` were captured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from collections import deque
+
+from repro.sim import FluidScheduler, Simulator
+
+
+def _heap_stats(sim: Simulator) -> dict:
+    """Heap diagnostics, tolerating kernels that predate them."""
+    stats = getattr(sim, "heap_stats", None)
+    if callable(stats):
+        return stats()
+    return {"queued": len(sim._queue), "dead_entries": 0, "compactions": 0}
+
+
+# ---------------------------------------------------------------------------
+# Scenarios.  Each returns (ops, sim) where *ops* counts the scheduler
+# mutations the scenario issued (the "useful work" denominator).
+# ---------------------------------------------------------------------------
+
+def scenario_churn(quick: bool):
+    """Bursty submit/cancel against a large standing population.
+
+    Models proclet thread churn on a busy machine: every virtual
+    instant a batch of high-priority items arrives and another batch is
+    cancelled, on top of ~1.5k long-lived background holds.  This is
+    the pattern the coalesced-reassignment path exists for.
+    """
+    rounds = 40 if quick else 120
+    batch = 32
+    background = 1500
+    sim = Simulator(seed=7)
+    sched = FluidScheduler(sim, 64.0, name="churn")
+    ops = 0
+
+    def driver():
+        nonlocal ops
+        for i in range(background):
+            sched.hold(demand=1.0, priority=1, name=f"bg{i}")
+        ops += background
+        live = deque()
+        for _ in range(rounds):
+            for i in range(batch):
+                live.append(sched.submit(work=50.0 + i, demand=2.0,
+                                         priority=0, name="burst"))
+            ops += batch
+            while len(live) > batch // 2:
+                it = live.popleft()
+                if it.active:
+                    sched.cancel(it)
+                ops += 1
+            yield sim.timeout(0.001)
+
+    sim.process(driver())
+    sim.run(until=1.0)
+    return ops, sim
+
+
+def scenario_fairshare(quick: bool):
+    """Waves of flows fair-sharing one capacity, with an aggregate poller.
+
+    Models a NIC under heavy transfer load: arrivals come in bursts at
+    one instant, completions rebalance everyone, and a placement-style
+    poller reads ``load``/``free_capacity`` far more often than rates
+    change.
+    """
+    waves = 6 if quick else 16
+    per_wave = 120
+    sim = Simulator(seed=11)
+    sched = FluidScheduler(sim, 100.0, name="fair")
+    ops = 0
+
+    def poller():
+        acc = 0.0
+        while True:
+            acc += sched.load + sched.free_capacity(priority=1)
+            yield sim.timeout(0.0005)
+
+    def driver():
+        nonlocal ops
+        rng = sim.random.stream("fair")
+        for w in range(waves):
+            items = []
+            for i in range(per_wave):
+                items.append(sched.submit(
+                    work=0.5 + rng.random() * 2.0,
+                    demand=0.5 + rng.random() * 3.0,
+                    priority=1, name=f"w{w}.{i}"))
+            ops += per_wave
+            # Let roughly half the wave drain before the next burst.
+            yield items[per_wave // 2].done
+
+    sim.process(poller())
+    p = sim.process(driver())
+    sim.run(until_event=p)
+    sim.run(until=sim.now + 2.0)
+    return ops, sim
+
+
+def scenario_priostack(quick: bool):
+    """Deep strict-priority stacks with preemption waves.
+
+    A 12-level priority stack of holds; a priority-0 antagonist toggles
+    on and off, rippling rate changes down the stack, while a local
+    scheduler-style reader queries ``free_capacity`` at every level.
+    """
+    rounds = 60 if quick else 200
+    levels = 12
+    per_level = 40
+    sim = Simulator(seed=13)
+    sched = FluidScheduler(sim, 48.0, name="prio")
+    ops = 0
+
+    def driver():
+        nonlocal ops
+        for p in range(levels):
+            for i in range(per_level):
+                sched.hold(demand=0.25, priority=p + 1, name=f"p{p}.{i}")
+        ops += levels * per_level
+        probe = 0.0
+        for _ in range(rounds):
+            antagonist = sched.hold(demand=48.0, priority=0, name="ant")
+            ops += 1
+            yield sim.timeout(0.0002)
+            for p in range(levels + 1):
+                probe += sched.free_capacity(priority=p)
+            sched.cancel(antagonist)
+            ops += 1
+            yield sim.timeout(0.0002)
+
+    p = sim.process(driver())
+    sim.run(until_event=p)
+    return ops, sim
+
+
+def scenario_timerstorm(quick: bool):
+    """Completion-timer storms: superseded timers must not bloat the heap.
+
+    Long flows whose rates are perturbed every 100µs by capacity jitter
+    — each perturbation supersedes the pending completion timer.  A
+    short-lived pulse item keeps real completions interleaved.
+    """
+    rounds = 1500 if quick else 5000
+    flows = 50
+    sim = Simulator(seed=17)
+    sched = FluidScheduler(sim, 10.0, name="storm")
+    ops = 0
+
+    def driver():
+        nonlocal ops
+        for i in range(flows):
+            sched.submit(work=1.0e5, demand=1.0, priority=1, name=f"f{i}")
+        ops += flows
+        pulse = sched.submit(work=0.002, demand=4.0, priority=0, name="pulse")
+        ops += 1
+        for r in range(rounds):
+            sched.set_capacity(9.5 if r % 2 else 10.0)
+            ops += 1
+            if pulse.done.triggered:
+                pulse = sched.submit(work=0.002, demand=4.0, priority=0,
+                                     name="pulse")
+                ops += 1
+            yield sim.timeout(0.0001)
+
+    p = sim.process(driver())
+    sim.run(until_event=p)
+    return ops, sim
+
+
+SCENARIOS = {
+    "churn": scenario_churn,
+    "fairshare": scenario_fairshare,
+    "priostack": scenario_priostack,
+    "timerstorm": scenario_timerstorm,
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def run_scenario(name: str, quick: bool, repeat: int = 1) -> dict:
+    """Run *name*, best-of-*repeat* by events/sec.
+
+    Wall-clock on shared machines is noisy in one direction only (load
+    spikes slow us down); taking the best of a few repetitions measures
+    what the kernel can do, which is the stable quantity a regression
+    gate needs.
+    """
+    fn = SCENARIOS[name]
+    best = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        ops, sim = fn(quick)
+        wall = time.perf_counter() - t0
+        events = sim.processed_events
+        result = {
+            "ops": ops,
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(events / wall, 1),
+            "ops_per_sec": round(ops / wall, 1),
+            "heap": _heap_stats(sim),
+        }
+        if best is None or result["events_per_sec"] > best["events_per_sec"]:
+            best = result
+    return best
+
+
+def run_all(quick: bool, only=None, repeat: int = 1) -> dict:
+    out = {}
+    for name in SCENARIOS:
+        if only and name not in only:
+            continue
+        out[name] = run_scenario(name, quick, repeat=repeat)
+        r = out[name]
+        print(f"{name:12s} events={r['events']:>8d} wall={r['wall_s']:>8.3f}s "
+              f"events/s={r['events_per_sec']:>10.0f} "
+              f"ops/s={r['ops_per_sec']:>9.0f} heap={r['heap']}")
+    return out
+
+
+def check_against(results: dict, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path) as fh:
+        committed = json.load(fh)
+    baseline = committed["after"]["quick"]
+    failures = []
+    for name, r in results.items():
+        ref = baseline.get(name)
+        if ref is None:
+            continue
+        floor = ref["events_per_sec"] * (1.0 - tolerance)
+        if r["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {r['events_per_sec']:.0f} events/s < "
+                f"{floor:.0f} (baseline {ref['events_per_sec']:.0f} "
+                f"- {tolerance:.0%})")
+    if failures:
+        print("KERNEL PERF REGRESSION:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"kernel perf OK (within {tolerance:.0%} of committed baseline)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced problem sizes (CI smoke run)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write results as JSON to PATH")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against committed BENCH_kernel.json")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional regression for --check")
+    ap.add_argument("--scenario", action="append",
+                    help="run only the named scenario (repeatable)")
+    ap.add_argument("--repeat", type=int, default=None,
+                    help="best-of-N repetitions per scenario "
+                         "(default: 3 with --check, else 1)")
+    args = ap.parse_args(argv)
+
+    if args.scenario:
+        unknown = [s for s in args.scenario if s not in SCENARIOS]
+        if unknown:
+            ap.error(f"unknown scenario(s): {', '.join(unknown)} "
+                     f"(choose from: {', '.join(SCENARIOS)})")
+    if args.check and not os.path.exists(args.check):
+        ap.error(f"baseline file not found: {args.check}")
+
+    repeat = args.repeat if args.repeat is not None else (
+        3 if args.check else 1)
+    results = run_all(args.quick, only=args.scenario, repeat=repeat)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"quick": args.quick, "scenarios": results}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.check:
+        return check_against(results, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,11 +77,12 @@ class Cpu:
 
     def snapshot_integral(self) -> float:
         """Current served-work integral, for later utilization deltas."""
-        self.sched._settle()
+        self.sched.sync()
         return self.sched.served_integral
 
     def add_observer(self, fn) -> None:
-        """Observe every rate reassignment (used by local schedulers)."""
+        """Observe every effective rate reassignment (used by local
+        schedulers); no-op reassignments are coalesced away."""
         self.sched.add_observer(fn)
 
     def __repr__(self) -> str:

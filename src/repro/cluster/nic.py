@@ -44,6 +44,16 @@ class Nic:
     def tx_utilization_since(self, t0: float, integral0: float = 0.0) -> float:
         return self.tx.utilization_since(t0, integral0)
 
+    @property
+    def tx_load(self) -> float:
+        """Aggregate transmit rate right now (cached, O(1))."""
+        return self.tx.load
+
+    @property
+    def tx_queue_depth(self) -> int:
+        """Number of in-flight transfers on the TX scheduler."""
+        return len(self.tx)
+
     def __repr__(self) -> str:
         return (f"<Nic {self.machine_name} bw={self.bandwidth:.3g} B/s "
-                f"tx_queue={len(self.tx.items)}>")
+                f"tx_queue={len(self.tx)}>")

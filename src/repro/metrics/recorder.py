@@ -66,3 +66,18 @@ class MetricsRecorder:
     def has(self, name: str) -> bool:
         return (name in self._series or name in self._counters
                 or name in self._gauges or name in self._samples)
+
+    # -- kernel diagnostics -------------------------------------------------
+    def record_heap_stats(self, sim=None, prefix: str = "sim.heap") -> Dict:
+        """Snapshot the simulator's event-heap diagnostics into gauges.
+
+        Records ``{prefix}.queued``, ``{prefix}.dead_entries`` and
+        ``{prefix}.compactions`` at the current virtual time and returns
+        the raw stats dict.  Call it from experiment loops (or once at
+        the end of a run) to track event-heap hygiene over time.
+        """
+        sim = sim or self.sim
+        stats = sim.heap_stats()
+        for key, value in stats.items():
+            self.gauge(f"{prefix}.{key}").set(sim.now, value)
+        return stats

@@ -35,7 +35,8 @@ class Event:
     event).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed",
+                 "_cancelled")
 
     def __init__(self, sim: "Simulator"):  # noqa: F821 (forward ref)
         self.sim = sim
@@ -43,6 +44,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._processed = False
+        self._cancelled = False
 
     # -- inspection -------------------------------------------------------
     @property
@@ -54,6 +56,11 @@ class Event:
     def processed(self) -> bool:
         """True once callbacks have run."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`Simulator.cancel` tombstoned this event."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:

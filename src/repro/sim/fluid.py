@@ -15,6 +15,29 @@ The same abstraction serves three substrates:
 * CPU: capacity = cores, demand = threads an item can use;
 * NIC: capacity = bytes/s, items are transfers;
 * storage: capacity = IOPS, items are I/O batches.
+
+Incremental engine
+------------------
+
+Rate recomputation is *coalesced*: mutations (submit / detach / attach /
+set_demand / set_capacity / …) only mark the scheduler dirty; one
+water-fill runs per flush point instead of one per mutation.  A flush
+happens
+
+* from the simulator's pending-flush drain, which runs before virtual
+  time next advances, so deferral is observationally invisible; and
+* lazily, before any read of rates, aggregates or completion ETAs; and
+* immediately, when mutating outside the event loop (keeps direct
+  driving code and tests exactly as responsive as the eager engine).
+
+Because no virtual time can pass between a mutation and its flush, the
+deferred water-fill sees exactly the state an eager one would have, and
+simulated timelines are unchanged.  Aggregates (``load``, per-priority
+rate sums, ``demand_total``) are maintained as caches so placement
+policies and metrics observers read them in O(#priorities) or O(1)
+rather than O(#items).  Superseded completion timers are truly cancelled
+on the simulator heap (see :meth:`Simulator.cancel`) instead of being
+left to fire as no-ops.
 """
 
 from __future__ import annotations
@@ -45,12 +68,13 @@ class FluidItem:
     priority:
         Lower value = served first.  Strict across classes.
     rate:
-        Current assigned service rate (managed by the scheduler).
+        Current assigned service rate (managed by the scheduler; reading
+        it flushes any pending reassignment first).
     done:
         Event that succeeds (with the item) when work reaches zero.
     """
 
-    __slots__ = ("name", "demand", "priority", "remaining", "rate", "done",
+    __slots__ = ("name", "demand", "priority", "remaining", "_rate", "done",
                  "submitted_at", "started_at", "finished_at", "_sched",
                  "owner")
 
@@ -60,13 +84,21 @@ class FluidItem:
         self.demand = float(demand)
         self.priority = int(priority)
         self.remaining = float(work)
-        self.rate = 0.0
+        self._rate = 0.0
         self.done: Event = sched.sim.event()
         self.submitted_at = sched.sim.now
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self._sched: Optional[FluidScheduler] = sched
         self.owner = owner
+
+    @property
+    def rate(self) -> float:
+        """Current assigned service rate (flushes pending reassignment)."""
+        sched = self._sched
+        if sched is not None and sched._dirty:
+            sched._flush()
+        return self._rate
 
     @property
     def active(self) -> bool:
@@ -79,14 +111,22 @@ class FluidItem:
         return self._sched is not None and self.rate <= _EPS
 
     def queueing_delay(self, now: float) -> float:
-        """Time since submission without any service (the §5 signal)."""
+        """Time since submission without any service (the §5 signal).
+
+        ``detach`` resets service-start tracking and ``attach`` restarts
+        the submission clock, so after a migration this measures
+        post-migration queueing rather than sticking at zero.
+        """
+        sched = self._sched
+        if sched is not None and sched._dirty:
+            sched._flush()
         if self.started_at is not None:
             return 0.0
         return now - self.submitted_at
 
     def __repr__(self) -> str:
         return (f"<FluidItem {self.name!r} prio={self.priority} "
-                f"rate={self.rate:.3g} remaining={self.remaining:.3g}>")
+                f"rate={self._rate:.3g} remaining={self.remaining:.3g}>")
 
 
 class FluidScheduler:
@@ -99,8 +139,20 @@ class FluidScheduler:
         self.name = name
         self._capacity = float(capacity)
         self._items: List[FluidItem] = []
+        # Persistent priority buckets; each bucket preserves _items order.
+        self._buckets: Dict[int, List[FluidItem]] = {}
+        self._prio_order: List[int] = []
         self._last_update = sim.now
-        self._epoch = 0
+        # Cached aggregates, valid whenever the scheduler is clean.
+        self._load = 0.0
+        self._demand_total = 0.0
+        self._rate_sum: Dict[int, float] = {}
+        # Coalesced-reassignment state.
+        self._dirty = False
+        self._structure_changed = False
+        self._flush_scheduled = False
+        self._in_flush = False
+        self._timer: Optional[Event] = None
         # Integral of served rate over time, total and per priority class.
         self.served_integral = 0.0
         self.served_by_priority: Dict[int, float] = {}
@@ -115,12 +167,12 @@ class FluidScheduler:
         """Change total capacity (e.g. cores taken offline)."""
         if capacity < 0:
             raise ValueError(f"negative capacity: {capacity}")
-        self._settle()
         self._capacity = float(capacity)
-        self._reassign()
+        self._mark_dirty()
 
     def add_observer(self, fn: Callable[["FluidScheduler"], None]) -> None:
-        """Call *fn(self)* after every rate reassignment."""
+        """Call *fn(self)* after every rate reassignment that changed
+        something (rates or the attached-item set)."""
         self._observers.append(fn)
 
     # -- submission ----------------------------------------------------------
@@ -139,9 +191,7 @@ class FluidScheduler:
             item.finished_at = self.sim.now
             item.done.succeed(item)
             return item
-        self._settle()
-        self._items.append(item)
-        self._reassign()
+        self._insert(item)
         return item
 
     def hold(self, demand: float, priority: int = 1, name: str = "",
@@ -149,9 +199,7 @@ class FluidScheduler:
         """Submit an unbounded item that runs until cancelled."""
         item = FluidItem(self, name or f"{self.name}-hold", math.inf, demand,
                          priority, owner=owner)
-        self._settle()
-        self._items.append(item)
-        self._reassign()
+        self._insert(item)
         return item
 
     # -- removal --------------------------------------------------------------
@@ -163,41 +211,54 @@ class FluidScheduler:
         """Remove *item* preserving its remaining work (for migration).
 
         The ``done`` event is left untriggered so the item can be
-        re-submitted elsewhere via :meth:`attach`.
+        re-submitted elsewhere via :meth:`attach`.  Service-start
+        tracking is reset so queueing delay is measured afresh wherever
+        the item lands next.
         """
         if item._sched is not self:
             raise UnboundResource(f"{item!r} is not attached to {self.name}")
         self._settle()
-        self._items.remove(item)
+        self._remove(item)
         item._sched = None
-        item.rate = 0.0
-        self._reassign()
+        item._rate = 0.0
+        item.started_at = None
+        self._mark_dirty()
         return item.remaining
 
     def attach(self, item: FluidItem) -> None:
-        """Re-attach a detached item (its remaining work resumes here)."""
+        """Re-attach a detached item (its remaining work resumes here).
+
+        The submission clock restarts so ``queueing_delay`` measures
+        time queued *here*, not time since the original submission.
+        """
         if item._sched is not None:
             raise UnboundResource(f"{item!r} is already attached")
         if item.done.triggered:
             raise UnboundResource(f"{item!r} already completed")
         item._sched = self
-        self._settle()
-        self._items.append(item)
-        self._reassign()
+        item.submitted_at = self.sim.now
+        self._insert(item)
 
     def fail_all(self, exc: BaseException) -> None:
         """Fail every attached item with *exc* (machine failure).
 
         Each item's ``done`` event fails, so processes blocked on the
-        work observe the failure immediately.
+        work observe the failure immediately.  A no-op when nothing is
+        attached (no spurious reassignment or observer churn).
         """
+        if not self._items:
+            return
         self._settle()
         items, self._items = self._items, []
+        self._buckets.clear()
+        self._prio_order = []
+        self._demand_total = 0.0
+        self._structure_changed = True
         for item in items:
             item._sched = None
-            item.rate = 0.0
+            item._rate = 0.0
             item.done.fail(exc)
-        self._reassign()
+        self._mark_dirty()
 
     # -- tuning ---------------------------------------------------------------
     def set_demand(self, item: FluidItem, demand: float) -> None:
@@ -205,84 +266,196 @@ class FluidScheduler:
             raise UnboundResource(f"{item!r} is not attached to {self.name}")
         if demand <= 0:
             raise ValueError(f"demand must be positive: {demand}")
-        self._settle()
+        self._demand_total += float(demand) - item.demand
         item.demand = float(demand)
-        self._reassign()
+        self._mark_dirty()
 
     def set_priority(self, item: FluidItem, priority: int) -> None:
         if item._sched is not self:
             raise UnboundResource(f"{item!r} is not attached to {self.name}")
+        # Served work so far must be booked under the old class.
         self._settle()
+        old = item.priority
         item.priority = int(priority)
-        self._reassign()
+        if item.priority != old:
+            self._buckets[old].remove(item)
+            if not self._buckets[old]:
+                del self._buckets[old]
+            # Rebuild the destination bucket from _items so the bucket
+            # keeps submission order (identical to the eager engine's
+            # rebuild-from-scratch behaviour).
+            self._buckets[item.priority] = [
+                it for it in self._items if it.priority == item.priority
+            ]
+            self._prio_order = sorted(self._buckets)
+            self._structure_changed = True
+        self._mark_dirty()
 
     # -- inspection -------------------------------------------------------------
     @property
     def items(self) -> List[FluidItem]:
         return list(self._items)
 
+    def __len__(self) -> int:
+        return len(self._items)
+
     @property
     def load(self) -> float:
-        """Sum of current service rates (<= capacity)."""
-        return sum(it.rate for it in self._items)
+        """Sum of current service rates (<= capacity).  Cached: O(1)."""
+        if self._dirty:
+            self._flush()
+        return self._load
 
     @property
     def demand_total(self) -> float:
-        return sum(it.demand for it in self._items)
+        """Sum of attached demands.  Cached: O(1)."""
+        return self._demand_total
 
     def free_capacity(self, priority: int = 10**9) -> float:
         """Capacity a new item at *priority* could obtain without
         squeezing anyone: total capacity minus the rates of items at this
         priority or more urgent.  This is the signal placement policies
-        use ("how many idle cores does this machine have for me?")."""
-        used = sum(it.rate for it in self._items if it.priority <= priority)
+        use ("how many idle cores does this machine have for me?").
+        O(#priority classes) thanks to cached per-class rate sums."""
+        if self._dirty:
+            self._flush()
+        used = 0.0
+        rate_sum = self._rate_sum
+        for prio in self._prio_order:
+            if prio <= priority:
+                used += rate_sum[prio]
         return max(0.0, self._capacity - used)
 
     def utilization_since(self, t0: float, integral0: float) -> float:
         """Mean utilization in [t0, now] given a prior integral snapshot."""
-        self._settle()
+        self.sync()
         dt = self.sim.now - t0
         if dt <= 0 or self._capacity <= 0:
             return 0.0
         return (self.served_integral - integral0) / (dt * self._capacity)
 
+    def sync(self) -> None:
+        """Bring rates and served-work accounting up to the current
+        instant (flushing any pending reassignment first)."""
+        if self._dirty:
+            self._flush()
+        else:
+            self._settle()
+
     # -- engine ------------------------------------------------------------------
+    def _insert(self, item: FluidItem) -> None:
+        self._items.append(item)
+        bucket = self._buckets.get(item.priority)
+        if bucket is None:
+            self._buckets[item.priority] = [item]
+            self._prio_order = sorted(self._buckets)
+        else:
+            bucket.append(item)
+        self._demand_total += item.demand
+        self._structure_changed = True
+        self._mark_dirty()
+
+    def _remove(self, item: FluidItem) -> None:
+        self._items.remove(item)
+        bucket = self._buckets[item.priority]
+        bucket.remove(item)
+        if not bucket:
+            del self._buckets[item.priority]
+            self._prio_order = sorted(self._buckets)
+        self._demand_total -= item.demand
+        if not self._items:
+            self._demand_total = 0.0  # clamp accumulated float drift
+        self._structure_changed = True
+
+    def _mark_dirty(self) -> None:
+        """Note a pending reassignment and arrange for it to flush.
+
+        Inside the event loop the scheduler joins the simulator's
+        pending-flush list, drained before virtual time next advances
+        (so a burst of k mutations at one instant costs one water-fill);
+        outside the loop it flushes immediately, preserving the eager
+        engine's read-after-write behaviour for driver code and tests.
+        """
+        self._dirty = True
+        sim = self.sim
+        if not sim._running and not self._in_flush:
+            self._flush()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            sim._pending_flushes.append(self)
+
+    def _run_pending_flush(self) -> None:
+        self._flush_scheduled = False
+        if self._dirty:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Settle served work, then run the coalesced reassignment."""
+        if not self._dirty or self._in_flush:
+            return
+        self._in_flush = True
+        try:
+            self._settle()
+            self._dirty = False
+            self._reassign()
+        finally:
+            self._in_flush = False
+
     def _settle(self) -> None:
         """Advance every item's remaining work to the current time."""
         now = self.sim.now
         elapsed = now - self._last_update
         if elapsed <= 0:
             return
+        self._last_update = now
+        if self._load == 0.0 or not self._items:
+            return  # provably no service since the last update
+        served = self.served_by_priority
         total_rate = 0.0
         for it in self._items:
-            if it.rate > 0 and it.remaining is not math.inf:
-                it.remaining = max(0.0, it.remaining - it.rate * elapsed)
-            total_rate += it.rate
-            if it.rate > 0:
-                per = self.served_by_priority
-                per[it.priority] = per.get(it.priority, 0.0) \
-                    + it.rate * elapsed
+            rate = it._rate
+            if rate > 0:
+                if it.remaining is not math.inf:
+                    it.remaining = max(0.0, it.remaining - rate * elapsed)
+                served[it.priority] = served.get(it.priority, 0.0) \
+                    + rate * elapsed
+                total_rate += rate
         self.served_integral += total_rate * elapsed
-        self._last_update = now
 
     def _reassign(self) -> None:
-        """Recompute rates and reschedule the next completion."""
+        """Recompute rates; reschedule completion and notify observers
+        only when something actually changed."""
         remaining_cap = self._capacity
-        by_prio: Dict[int, List[FluidItem]] = {}
-        for it in self._items:
-            by_prio.setdefault(it.priority, []).append(it)
-
-        for prio in sorted(by_prio):
-            group = by_prio[prio]
+        changed = self._structure_changed
+        self._structure_changed = False
+        load = 0.0
+        rate_sum = self._rate_sum
+        rate_sum.clear()
+        for prio in self._prio_order:
+            group = self._buckets[prio]
             if remaining_cap <= _EPS:
                 for it in group:
-                    it.rate = 0.0
+                    if it._rate != 0.0:
+                        it._rate = 0.0
+                        changed = True
+                rate_sum[prio] = 0.0
                 continue
-            remaining_cap -= self._water_fill(group, remaining_cap)
+            used, group_changed = self._water_fill(group, remaining_cap)
+            changed |= group_changed
+            rate_sum[prio] = used
+            load += used
+            remaining_cap -= used
+        self._load = load
+
+        if not changed:
+            # Rates are bit-identical and the item set is unchanged: the
+            # pending completion timer still targets the right instant
+            # and observers would see nothing new.
+            return
 
         now = self.sim.now
         for it in self._items:
-            if it.rate > _EPS and it.started_at is None:
+            if it._rate > _EPS and it.started_at is None:
                 it.started_at = now
 
         self._schedule_next_completion()
@@ -290,55 +463,69 @@ class FluidScheduler:
             obs(self)
 
     @staticmethod
-    def _water_fill(group: List[FluidItem], capacity: float) -> float:
+    def _water_fill(group: List[FluidItem], capacity: float):
         """Max-min fair allocation with per-item demand caps.
 
-        Returns the capacity actually consumed.
+        Returns ``(used, changed)``: the capacity actually consumed and
+        whether any item's rate moved.
         """
-        pending = sorted(group, key=lambda it: it.demand)
+        pending = sorted(group, key=_by_demand)
         cap = capacity
         used = 0.0
+        changed = False
         n = len(pending)
         for i, it in enumerate(pending):
             share = cap / (n - i)
             rate = min(it.demand, share)
-            it.rate = rate
+            if rate != it._rate:
+                it._rate = rate
+                changed = True
             cap -= rate
             used += rate
-        return used
+        return used, changed
 
     def _schedule_next_completion(self) -> None:
-        self._epoch += 1
-        epoch = self._epoch
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
         eta = math.inf
         for it in self._items:
-            if it.rate > _EPS and it.remaining is not math.inf:
-                eta = min(eta, it.remaining / it.rate)
+            rate = it._rate
+            if rate > _EPS and it.remaining is not math.inf:
+                eta = min(eta, it.remaining / rate)
         if eta is math.inf:
             return
-        self.sim.call_in(max(0.0, eta), self._on_timer, epoch)
+        self._timer = self.sim.call_in(max(0.0, eta), self._on_timer)
 
-    def _on_timer(self, epoch: int) -> None:
-        if epoch != self._epoch:
-            return  # a reassignment superseded this timer
+    def _on_timer(self) -> None:
+        self._timer = None
         self._settle()
         # An item is done when under a nanosecond of service remains: the
         # absolute tolerance alone is not enough because work values can
         # be huge (bytes), making float error exceed any fixed epsilon.
         finished = [
             it for it in self._items
-            if it.remaining <= max(_DONE_TOL, it.rate * 1e-9)
+            if it.remaining <= max(_DONE_TOL, it._rate * 1e-9)
         ]
         for it in finished:
-            self._items.remove(it)
+            self._remove(it)
             it._sched = None
-            it.rate = 0.0
+            it._rate = 0.0
             it.remaining = 0.0
             it.finished_at = self.sim.now
+        # Even when floating-point guards left nothing finished, the
+        # timer must be re-armed from the settled state.
+        self._dirty = False
+        self._structure_changed = True
         self._reassign()
         for it in finished:
             it.done.succeed(it)
 
     def __repr__(self) -> str:
         return (f"<FluidScheduler {self.name!r} cap={self._capacity:g} "
-                f"items={len(self._items)} load={self.load:g}>")
+                f"items={len(self._items)} load={self._load:g}"
+                f"{' dirty' if self._dirty else ''}>")
+
+
+def _by_demand(item: FluidItem) -> float:
+    return item.demand

@@ -5,17 +5,26 @@ migration, the Quicksand controllers — executes on this single-threaded
 deterministic simulator.  Time is a ``float`` in *seconds* of virtual time;
 no wall-clock API is consulted anywhere, so runs are exactly reproducible
 given a seed.
+
+Scheduled events can be *cancelled* (:meth:`Simulator.cancel`): the heap
+entry is tombstoned rather than removed, skipped for free when popped,
+and the heap is compacted once dead entries outnumber live ones.  The
+fluid scheduler uses this to retire superseded completion timers instead
+of letting them bloat the heap.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Dict, Generator, Iterable, Optional
 
 from .errors import StopSimulation
-from .events import NORMAL, Event, Timeout
+from .events import NORMAL, PENDING, Event, Timeout
 from .process import Process
 from .rand import RandomStreams
+
+#: Never bother compacting heaps smaller than this many dead entries.
+_COMPACT_MIN_DEAD = 64
 
 
 class Simulator:
@@ -34,6 +43,12 @@ class Simulator:
         self._queue: list = []  # (time, priority, seq, event)
         self._seq = 0
         self._processed_events = 0
+        self._dead = 0          # tombstoned (cancelled) entries still queued
+        self._compactions = 0
+        self._running = False   # True while run()/step() is executing
+        # Fluid schedulers with a coalesced reassignment pending; always
+        # drained before virtual time advances (see _drain_flushes).
+        self._pending_flushes: list = []
         self.random = RandomStreams(seed)
 
     # -- time -------------------------------------------------------------
@@ -46,6 +61,30 @@ class Simulator:
     def processed_events(self) -> int:
         """Number of events processed so far (for diagnostics)."""
         return self._processed_events
+
+    # -- heap diagnostics ---------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Live (non-tombstoned) events waiting in the heap."""
+        return len(self._queue) - self._dead
+
+    @property
+    def dead_entries(self) -> int:
+        """Tombstoned heap entries awaiting pop or compaction."""
+        return self._dead
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compaction passes performed so far."""
+        return self._compactions
+
+    def heap_stats(self) -> Dict[str, int]:
+        """Event-heap diagnostics as a dict (see ``repro.metrics``)."""
+        return {
+            "queued": self.queued,
+            "dead_entries": self._dead,
+            "compactions": self._compactions,
+        }
 
     # -- event construction -------------------------------------------------
     def event(self) -> Event:
@@ -97,18 +136,80 @@ class Simulator:
         ev.subscribe(lambda _ev: fn(*args))
         return ev
 
+    # -- cancellation --------------------------------------------------------
+    def cancel(self, event: Event) -> bool:
+        """Tombstone a scheduled-but-unprocessed *event*.
+
+        The event's callbacks will never run; its heap entry is skipped
+        when popped (or reclaimed by compaction).  Returns True if the
+        event was live and is now cancelled, False if it was never
+        scheduled, already processed, or already cancelled.
+        """
+        if (event._value is PENDING or event._processed
+                or event._cancelled):
+            return False
+        event._cancelled = True
+        self._dead += 1
+        if (self._dead > _COMPACT_MIN_DEAD
+                and self._dead * 2 > len(self._queue)):
+            self._compact()
+        return True
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify (in place, so aliases
+        held by the run loop stay valid)."""
+        self._queue[:] = [e for e in self._queue if not e[3]._cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+        self._compactions += 1
+
     # -- execution ----------------------------------------------------------
+    def _drain_flushes(self) -> None:
+        """Run every pending coalesced reassignment (FIFO).
+
+        Called whenever virtual time is about to advance, so deferred
+        water-fills are always observationally complete within the
+        timestamp that made them necessary.  Flushing may enqueue new
+        events at the current time and may re-mark schedulers dirty;
+        both are handled by the callers' re-check loops.
+        """
+        pending = self._pending_flushes
+        while pending:
+            pending.pop(0)._run_pending_flush()
+
     def step(self) -> None:
-        """Process the single next event."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        assert when >= self._now, "event queue went backwards"
-        self._now = when
-        self._processed_events += 1
-        event._process()
+        """Process the single next live event (skipping tombstones)."""
+        queue = self._queue
+        self._running = True
+        try:
+            while True:
+                if self._pending_flushes and (
+                        not queue or queue[0][0] > self._now):
+                    self._drain_flushes()
+                    if not queue:
+                        return
+                    continue
+                when, _prio, _seq, event = heapq.heappop(queue)
+                if event._cancelled:
+                    self._dead -= 1
+                    if not queue:
+                        return
+                    continue
+                assert when >= self._now, "event queue went backwards"
+                self._now = when
+                self._processed_events += 1
+                event._process()
+                return
+        finally:
+            self._running = False
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live event, or ``inf`` if none."""
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._dead -= 1
+        return queue[0][0] if queue else float("inf")
 
     def run(self, until: Optional[float] = None,
             until_event: Optional[Event] = None) -> Any:
@@ -130,15 +231,40 @@ class Simulator:
 
             until_event.subscribe(_stop)
 
+        # Hot loop: local aliases avoid repeated attribute lookups on the
+        # schedule->pop->_process path, and tombstoned entries are
+        # discarded without touching the clock.  Pending coalesced
+        # reassignments are drained whenever time is about to advance
+        # (or the queue drains), so they are observationally equivalent
+        # to eager per-mutation recomputation.
+        queue = self._queue
+        pop = heapq.heappop
+        flushes = self._pending_flushes
+        self._running = True
         try:
-            while self._queue:
+            while queue or flushes:
                 if stop["hit"]:
                     break
-                if until is not None and self._queue[0][0] > until:
+                if flushes and (not queue or queue[0][0] > self._now):
+                    self._drain_flushes()
+                    continue  # flushing may have enqueued new events
+                if not queue:
                     break
-                self.step()
+                head = queue[0]
+                if until is not None and head[0] > until:
+                    break
+                entry = pop(queue)
+                event = entry[3]
+                if event._cancelled:
+                    self._dead -= 1
+                    continue
+                self._now = entry[0]
+                self._processed_events += 1
+                event._process()
         except StopSimulation as exc:
             return exc.value
+        finally:
+            self._running = False
 
         if until is not None and not stop["hit"]:
             self._now = max(self._now, until)
@@ -154,5 +280,6 @@ class Simulator:
         raise StopSimulation(value)
 
     def __repr__(self) -> str:
-        return (f"<Simulator t={self._now:.6f}s queued={len(self._queue)} "
+        return (f"<Simulator t={self._now:.6f}s queued={self.queued} "
+                f"dead={self._dead} compactions={self._compactions} "
                 f"processed={self._processed_events}>")

@@ -211,3 +211,29 @@ class TestMigrationUnderContention:
     def test_bad_migration_config(self):
         with pytest.raises(ValueError):
             MigrationConfig(fixed_overhead=-1.0)
+
+
+class TestMigrationQueueingSignal:
+    def test_queueing_delay_restarts_after_migration(self, rt):
+        """``detach`` resets service-start tracking, so after migrating
+        into a saturated machine the §5 queueing-delay signal measures
+        post-arrival queueing instead of sticking at zero forever."""
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(), m0)
+        call = ref.call("long_work", 0.050, caller_machine=m0)
+        rt.sim.run(until=0.010)  # thread got service on m0
+        items = list(ref.proclet._active_cpu)
+        assert len(items) == 1
+        it = items[0]
+        assert it.started_at is not None
+        # Saturate the destination with HIGH-priority work so the moved
+        # thread starves on arrival.
+        m1.cpu.hold(threads=8.0, priority=Priority.HIGH)
+        rt.sim.run(until_event=rt.migrate(ref, m1))
+        arrived = rt.sim.now
+        assert it.started_at is None  # reset by detach
+        rt.sim.run(until=arrived + 0.005)
+        assert it.starved
+        assert it.queueing_delay(rt.sim.now) == pytest.approx(
+            rt.sim.now - arrived)
+        assert not call.triggered

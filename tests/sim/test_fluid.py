@@ -237,3 +237,129 @@ class TestManyItems:
         sim.run()
         sched._settle()
         assert sched.served_integral == pytest.approx(total, rel=1e-6)
+
+
+class TestFailAll:
+    def test_fail_all_propagates_to_blocked_items(self, sim):
+        sched = cpu(sim)
+        item = sched.submit(work=10.0)
+        sched.fail_all(RuntimeError("machine died"))
+        assert item.done.triggered
+        assert not item.done.ok
+        assert not sched.items
+
+    def test_fail_all_on_empty_scheduler_is_noop(self, sim):
+        sched = cpu(sim)
+        calls = []
+        sched.add_observer(lambda s: calls.append(sim.now))
+        sched.fail_all(RuntimeError("machine died"))
+        assert calls == []          # no reassignment, no observer churn
+        assert sched.load == 0.0
+        # the scheduler is still usable afterwards
+        item = sched.submit(work=1.0, demand=1.0)
+        sim.run(until_event=item.done)
+        assert item.done.ok
+
+
+class TestCoalescedReassignment:
+    """A burst of same-instant mutations costs one water-fill, and the
+    deferral is invisible: reads always see fresh rates."""
+
+    def test_burst_in_process_coalesces_observer_calls(self, sim):
+        sched = cpu(sim, cores=4.0)
+        calls = []
+        sched.add_observer(lambda s: calls.append(sim.now))
+
+        def burst():
+            for _ in range(10):
+                sched.submit(work=1.0, demand=1.0)
+            yield sim.timeout(0.1)
+
+        sim.process(burst())
+        sim.run()
+        # 10 submits at t=0 -> one coalesced reassignment, not ten.
+        assert calls.count(0.0) == 1
+
+    def test_read_inside_burst_sees_fresh_rates(self, sim):
+        sched = cpu(sim, cores=2.0)
+        seen = []
+
+        def burst():
+            a = sched.submit(work=5.0, demand=2.0)
+            b = sched.submit(work=5.0, demand=2.0)
+            seen.append((a.rate, b.rate, sched.load))
+            yield sim.timeout(0.01)
+
+        sim.process(burst())
+        sim.run(until=0.01)
+        assert seen == [(1.0, 1.0, 2.0)]
+
+    def test_submit_cancel_same_instant_leaves_no_trace(self, sim):
+        sched = cpu(sim, cores=2.0)
+        keeper = sched.submit(work=2.0, demand=2.0)
+
+        def churn():
+            for _ in range(20):
+                it = sched.submit(work=100.0, demand=2.0)
+                sched.cancel(it)
+            yield sim.timeout(0.0)
+
+        sim.process(churn())
+        sim.run(until_event=keeper.done)
+        # the cancelled flock never absorbed capacity for finite time
+        assert sim.now == pytest.approx(1.0)
+
+    def test_free_capacity_is_fresh_after_mutation(self, sim):
+        sched = cpu(sim, cores=4.0)
+
+        def probe():
+            sched.hold(demand=1.0, priority=0)
+            yield sim.timeout(0.0)
+
+        sim.process(probe())
+        sim.run(until=0.0)
+        assert sched.free_capacity(priority=1) == pytest.approx(3.0)
+        assert sched.free_capacity(priority=0) == pytest.approx(3.0)
+
+
+class TestWaterFillDeterminism:
+    """Rates depend on (demand, priority), never on submission order."""
+
+    def _submit_all(self, spec):
+        sim = Simulator()
+        sched = cpu(sim, cores=3.0)
+        items = {name: sched.submit(work=w, demand=d, name=name)
+                 for name, w, d in spec}
+        return sim, items
+
+    def test_distinct_demands_are_order_invariant_bitwise(self):
+        spec = [("a", 4.0, 0.5), ("b", 4.0, 1.25), ("c", 4.0, 2.5)]
+        orders = [spec, spec[::-1], [spec[1], spec[2], spec[0]]]
+        rates, finishes = [], []
+        for order in orders:
+            sim, items = self._submit_all(order)
+            rates.append({n: it.rate for n, it in items.items()})
+            sim.run()
+            finishes.append({n: it.finished_at for n, it in items.items()})
+        # Distinct demands pin each item's position in the sorted
+        # water-fill, so rate vectors and completion times are
+        # *bit-identical* across submission orders.
+        assert rates[0] == rates[1] == rates[2]
+        assert finishes[0] == finishes[1] == finishes[2]
+
+    def test_equal_demands_complete_together_in_any_order(self):
+        runs = []
+        for names in (("a", "b", "c"), ("c", "a", "b"), ("b", "c", "a")):
+            sim = Simulator()
+            sched = cpu(sim, cores=2.0)
+            items = [sched.submit(work=3.0, demand=1.5, name=n)
+                     for n in names]
+            rate_vec = sorted(it.rate for it in items)
+            sim.run()
+            fins = {it.finished_at for it in items}
+            assert len(fins) == 1, "equal peers must finish simultaneously"
+            runs.append((rate_vec, fins.pop()))
+        ref_rates, ref_finish = runs[0]
+        for rate_vec, finish in runs[1:]:
+            assert rate_vec == pytest.approx(ref_rates, rel=1e-12)
+            assert finish == pytest.approx(ref_finish, rel=1e-12)

@@ -94,3 +94,125 @@ class TestEventOrderingAtSameTime:
         sim.run(until=1.0)
         assert count[0] == 100
         assert sim.now == 1.0
+
+
+class TestCancellation:
+    def test_cancel_skips_callbacks(self, sim):
+        fired = []
+        ev = sim.call_in(1.0, fired.append, 1)
+        assert sim.cancel(ev) is True
+        sim.run()
+        assert fired == []
+        assert ev.cancelled
+
+    def test_cancel_twice_returns_false(self, sim):
+        ev = sim.call_in(1.0, lambda: None)
+        assert sim.cancel(ev) is True
+        assert sim.cancel(ev) is False
+        assert sim.dead_entries == 1
+
+    def test_cancel_processed_event_returns_false(self, sim):
+        ev = sim.timeout(1.0)
+        sim.run()
+        assert sim.cancel(ev) is False
+        assert sim.dead_entries == 0
+
+    def test_cancel_untriggered_plain_event_returns_false(self, sim):
+        ev = sim.event()  # never scheduled
+        assert sim.cancel(ev) is False
+
+    def test_dead_entries_reclaimed_on_pop(self, sim):
+        keep = sim.timeout(2.0)
+        for _ in range(5):
+            sim.cancel(sim.timeout(1.0))
+        assert sim.dead_entries == 5
+        assert sim.queued == 1
+        sim.run()
+        assert sim.dead_entries == 0
+        assert sim.processed_events == 1  # only the live one
+        assert sim.now == 2.0
+
+    def test_peek_skips_tombstones(self, sim):
+        sim.timeout(3.0)
+        dead = sim.timeout(1.0)
+        sim.cancel(dead)
+        assert sim.peek() == 3.0
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_triggers_compaction(self, sim):
+        events = [sim.timeout(1.0) for _ in range(200)]
+        for ev in events[:150]:
+            sim.cancel(ev)
+        assert sim.compactions >= 1
+        # any stragglers cancelled after the sweep stay below threshold
+        assert sim.dead_entries < 64
+        assert sim.queued == 50
+        sim.run()
+        assert sim.processed_events == 50
+
+    def test_small_heaps_are_not_compacted(self, sim):
+        for _ in range(10):
+            sim.cancel(sim.timeout(1.0))
+        assert sim.compactions == 0  # below _COMPACT_MIN_DEAD
+        assert sim.dead_entries == 10
+
+    def test_heap_stats_dict(self, sim):
+        sim.timeout(1.0)
+        sim.cancel(sim.timeout(2.0))
+        stats = sim.heap_stats()
+        assert stats == {"queued": 1, "dead_entries": 1, "compactions": 0}
+
+    def test_repr_shows_heap_diagnostics(self, sim):
+        sim.cancel(sim.timeout(1.0))
+        r = repr(sim)
+        assert "queued=0" in r
+        assert "dead=1" in r
+        assert "compactions=" in r
+
+    def test_metrics_record_heap_stats(self, sim):
+        from repro.metrics import MetricsRecorder
+
+        metrics = MetricsRecorder(sim)
+        sim.timeout(1.0)
+        sim.cancel(sim.timeout(2.0))
+        stats = metrics.record_heap_stats()
+        assert stats["queued"] == 1
+        assert stats["dead_entries"] == 1
+        assert metrics.gauge("sim.heap.queued").level == 1
+        assert metrics.gauge("sim.heap.dead_entries").level == 1
+
+
+class TestPendingFlushDraining:
+    """Coalesced fluid reassignments must complete before time advances
+    — including under step()-driven execution."""
+
+    def _dirty_scheduler_in_process(self, sim):
+        from repro.sim import FluidScheduler
+
+        sched = FluidScheduler(sim, 2.0, name="cpu")
+        out = {}
+
+        def burst():
+            out["item"] = sched.submit(work=4.0, demand=2.0)
+            yield sim.timeout(10.0)
+
+        sim.process(burst())
+        return sched, out
+
+    def test_step_drains_flushes_before_advancing(self, sim):
+        sched, out = self._dirty_scheduler_in_process(sim)
+        sim.step()  # runs the process: submit marks the scheduler dirty
+        for _ in range(10):
+            if out["item"].done.triggered:
+                break
+            sim.step()
+        assert out["item"].done.triggered
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_observes_flush_at_marking_timestamp(self, sim):
+        sched, out = self._dirty_scheduler_in_process(sim)
+        times = []
+        sched.add_observer(lambda s: times.append(sim.now))
+        sim.run()
+        assert times[0] == 0.0  # reassigned before leaving t=0
