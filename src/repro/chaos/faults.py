@@ -1,0 +1,252 @@
+"""The fault model: what can go wrong, and when.
+
+Faults are plain frozen dataclasses naming machines by *name* (not by
+object), so a plan is printable, comparable, and independent of any
+particular cluster instance — the same :class:`FaultSchedule` can be
+replayed against a fresh cluster build, which is exactly what the
+determinism tests do.
+
+Two ways to obtain a schedule:
+
+* script it by hand (``FaultSchedule([MachineCrash(at=0.5, machine="m1"),
+  ...])``) for targeted regression tests;
+* draw it from a :class:`RandomFaultPlan`, which expands a master seed
+  into a fully deterministic schedule via the same named-stream
+  derivation the simulator uses (:class:`repro.sim.RandomStreams`), so
+  plans are replayable bit-for-bit from ``(seed, config)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterable, List, Sequence, Tuple
+
+from ..sim.rand import RandomStreams
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: one injectable event at virtual time ``at``."""
+
+    at: float
+
+    def describe(self) -> str:
+        extras = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self) if f.name != "at"
+        )
+        return f"{type(self).__name__}({extras})"
+
+
+@dataclass(frozen=True)
+class MachineCrash(Fault):
+    """Fail-stop node loss: proclets die, DRAM is wiped, NIC goes dark."""
+
+    machine: str = ""
+
+
+@dataclass(frozen=True)
+class MachineRestart(Fault):
+    """A crashed machine rejoins, empty, at full spec capacity."""
+
+    machine: str = ""
+
+
+@dataclass(frozen=True)
+class NicDegrade(Fault):
+    """Clamp a machine's TX bandwidth to ``fraction`` of nominal."""
+
+    machine: str = ""
+    fraction: float = 0.5
+
+
+@dataclass(frozen=True)
+class NicRestore(Fault):
+    """Undo a :class:`NicDegrade`."""
+
+    machine: str = ""
+
+
+@dataclass(frozen=True)
+class NetworkPartition(Fault):
+    """Cut bulk connectivity between two machines (both directions)."""
+
+    a: str = ""
+    b: str = ""
+
+
+@dataclass(frozen=True)
+class PartitionHeal(Fault):
+    """Heal a :class:`NetworkPartition`; stalled transfers resume."""
+
+    a: str = ""
+    b: str = ""
+
+
+@dataclass(frozen=True)
+class MemoryPressure(Fault):
+    """Pin ``nbytes`` of a machine's DRAM as antagonist ballast
+    (clamped to what fits; see :meth:`repro.cluster.Memory.set_ballast`)."""
+
+    machine: str = ""
+    nbytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class MemoryPressureRelease(Fault):
+    """Drop a machine's ballast back to zero."""
+
+    machine: str = ""
+
+
+@dataclass(frozen=True)
+class MigrationFlakiness(Fault):
+    """For ``duration`` seconds, each migration reservation attempt
+    fails transiently with probability ``probability`` (exercising the
+    engine's retry/backoff path).  Coin flips come from the simulator's
+    ``chaos.migration`` stream, so they replay with the run."""
+
+    probability: float = 0.3
+    duration: float = 0.1
+
+
+class FaultSchedule:
+    """An immutable, time-ordered list of faults."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self.faults: Tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda f: f.at))
+        for f in self.faults:
+            if f.at < 0:
+                raise ValueError(f"fault scheduled before t=0: {f}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultSchedule)
+                and other.faults == self.faults)
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {len(self.faults)} faults>"
+
+    def describe(self) -> str:
+        return "\n".join(f"  t={f.at:.4f}s  {f.describe()}"
+                         for f in self.faults) or "  (empty)"
+
+
+@dataclass(frozen=True)
+class RandomFaultPlan:
+    """Seeded generator of a :class:`FaultSchedule` over ``machines``.
+
+    Expansion is a pure function of the dataclass fields: the plan draws
+    from ``RandomStreams(seed)`` named streams only, never from global
+    randomness or the wall clock, so ``plan.schedule()`` is replayable.
+
+    Crash/restart pairs are generated per machine: a machine crashes at
+    a uniform time in the middle 80% of the horizon and restarts after
+    an exponential downtime (mean ``mean_downtime``).  ``ensure_crash``
+    guarantees at least one crash even when ``crash_probability`` rolls
+    all misses — the acceptance bar for a chaos run is that at least one
+    machine actually dies mid-experiment.
+    """
+
+    seed: int
+    machines: Sequence[str]
+    duration: float
+    crash_probability: float = 0.5
+    mean_downtime: float = 0.2
+    nic_degrade_probability: float = 0.4
+    min_degrade_fraction: float = 0.2
+    partition_probability: float = 0.3
+    partition_mean_duration: float = 0.05
+    pressure_probability: float = 0.4
+    pressure_fraction: float = 0.6
+    pressure_mean_duration: float = 0.2
+    migration_flakiness: float = 0.25
+    ensure_crash: bool = True
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if not self.machines:
+            raise ValueError("a fault plan needs at least one machine")
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash_probability must be in [0, 1]")
+
+    def schedule(self, dram_bytes: float = 0.0) -> FaultSchedule:
+        """Expand the plan into a concrete schedule.
+
+        ``dram_bytes`` sizes memory-pressure ballast (typically the
+        machines' DRAM capacity); with 0 no pressure faults are drawn.
+        """
+        streams = RandomStreams(self.seed)
+        faults: List[Fault] = []
+        # Middle 80% of the horizon: faults land mid-experiment, never
+        # degenerately at t=0 or after the workload has drained.
+        lo, hi = 0.1 * self.duration, 0.9 * self.duration
+
+        crash_rng = streams.stream("chaos.plan.crash")
+        crashed: List[str] = []
+        for name in self.machines:
+            if crash_rng.random() < self.crash_probability:
+                crashed.append(name)
+        if self.ensure_crash and not crashed and self.crash_probability > 0:
+            crashed.append(
+                crash_rng.choice(sorted(self.machines)))
+        # Never crash every machine at once: keep at least one survivor
+        # (the injector additionally enforces this at injection time).
+        if len(crashed) >= len(self.machines):
+            crashed = crashed[:len(self.machines) - 1]
+        for name in crashed:
+            t = crash_rng.uniform(lo, hi)
+            downtime = crash_rng.expovariate(1.0 / self.mean_downtime)
+            faults.append(MachineCrash(at=t, machine=name))
+            if t + downtime < self.duration:
+                faults.append(MachineRestart(at=t + downtime, machine=name))
+
+        nic_rng = streams.stream("chaos.plan.nic")
+        for name in self.machines:
+            if nic_rng.random() < self.nic_degrade_probability:
+                t = nic_rng.uniform(lo, hi)
+                frac = nic_rng.uniform(self.min_degrade_fraction, 0.9)
+                hold = nic_rng.expovariate(1.0 / self.partition_mean_duration)
+                faults.append(NicDegrade(at=t, machine=name, fraction=frac))
+                if t + hold < self.duration:
+                    faults.append(NicRestore(at=t + hold, machine=name))
+
+        part_rng = streams.stream("chaos.plan.partition")
+        if len(self.machines) >= 2 \
+                and part_rng.random() < self.partition_probability:
+            a, b = part_rng.sample(sorted(self.machines), 2)
+            t = part_rng.uniform(lo, hi)
+            hold = part_rng.expovariate(1.0 / self.partition_mean_duration)
+            faults.append(NetworkPartition(at=t, a=a, b=b))
+            faults.append(PartitionHeal(at=min(t + hold, self.duration),
+                                        a=a, b=b))
+
+        mem_rng = streams.stream("chaos.plan.memory")
+        if dram_bytes > 0:
+            for name in self.machines:
+                if mem_rng.random() < self.pressure_probability:
+                    t = mem_rng.uniform(lo, hi)
+                    nbytes = self.pressure_fraction * dram_bytes
+                    hold = mem_rng.expovariate(
+                        1.0 / self.pressure_mean_duration)
+                    faults.append(MemoryPressure(at=t, machine=name,
+                                                 nbytes=nbytes))
+                    if t + hold < self.duration:
+                        faults.append(
+                            MemoryPressureRelease(at=t + hold, machine=name))
+
+        if self.migration_flakiness > 0:
+            flaky_rng = streams.stream("chaos.plan.flaky")
+            t = flaky_rng.uniform(lo, hi)
+            faults.append(MigrationFlakiness(
+                at=t, probability=self.migration_flakiness,
+                duration=0.2 * self.duration))
+
+        return FaultSchedule(faults)

@@ -1,0 +1,239 @@
+"""Global-invariant checking as a DES observer.
+
+An :class:`InvariantChecker` hooks :meth:`Simulator.add_observer` and
+re-derives, after every processed event, the properties that must hold
+at *every* instant of a correct simulation, no matter what faults were
+injected:
+
+1. **No double placement** — the locator's per-machine sets partition
+   its table; every entry maps to a live proclet whose ``machine``
+   agrees with the table.
+2. **Conservation of heap bytes** — each live machine's DRAM ledger
+   equals the footprints of its resident proclets, plus fault ballast,
+   plus destination reservations of in-flight migrations.  A crashed
+   machine holds exactly zero.
+3. **Fluid sanity** — for every scheduler: rates are within
+   ``[0, demand]``, their sum matches the cached ``load`` aggregate and
+   never exceeds capacity, and priority is strict (a hungry class
+   starves everything below it).  Optionally each scheduler is also
+   diffed against the brute-force oracle (:mod:`repro.chaos.oracle`).
+4. **No permanently-gated proclet** — a MIGRATING proclet always has an
+   untriggered gate, and no single gate stays closed longer than
+   ``gate_timeout`` virtual seconds.
+
+The checker is read-only: schedulers with a *pending* coalesced
+reassignment are skipped for that event (forcing a flush mid-instant
+would perturb the run) and re-checked after the flush lands, which is
+always before virtual time advances.
+
+On violation it raises :class:`InvariantViolation` from inside the event
+loop, failing the run at the first bad state — the chaos analogue of an
+assertion compiled into the kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from . import oracle as _oracle
+
+#: Rate/aggregate slack: a few ulps of a realistic capacity.
+_RATE_EPS = 1e-9
+#: DRAM ledger slack in bytes (footprints are floats; 1 B is generous).
+_MEM_EPS = 1.0
+
+
+class InvariantViolation(Exception):
+    """A global invariant failed to hold after an event."""
+
+
+class InvariantChecker:
+    """Asserts global invariants over a :class:`NuRuntime` after every
+    simulator event (or every ``stride``-th event)."""
+
+    def __init__(self, runtime, oracle: bool = False, stride: int = 1,
+                 gate_timeout: float = 1.0):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1: {stride}")
+        self.runtime = runtime
+        self.oracle = oracle
+        self.stride = stride
+        self.gate_timeout = gate_timeout
+        self.checks = 0
+        self.events_seen = 0
+        self.oracle_comparisons = 0
+        # id(gate) -> first time the gate was seen closed.
+        self._gate_seen: Dict[int, float] = {}
+        self._attached_to = None
+
+    # -- observer plumbing ---------------------------------------------------
+    def attach(self, sim=None) -> "InvariantChecker":
+        sim = sim or self.runtime.sim
+        sim.add_observer(self._on_event)
+        self._attached_to = sim
+        return self
+
+    def detach(self) -> None:
+        if self._attached_to is not None:
+            self._attached_to.remove_observer(self._on_event)
+            self._attached_to = None
+
+    def _on_event(self, _sim) -> None:
+        self.events_seen += 1
+        if self.events_seen % self.stride == 0:
+            self.check()
+
+    # -- the invariants ------------------------------------------------------
+    def check(self) -> None:
+        """Run every invariant once; raises :class:`InvariantViolation`."""
+        self.checks += 1
+        self._check_placement()
+        self._check_memory_conservation()
+        self._check_fluid()
+        self._check_gates()
+
+    def _fail(self, what: str) -> None:
+        raise InvariantViolation(
+            f"t={self.runtime.sim.now:.6f}s: {what}")
+
+    def _check_placement(self) -> None:
+        loc = self.runtime.locator
+        proclets = self.runtime._proclets
+        seen: set = set()
+        for machine, pids in loc._by_machine.items():
+            for pid in pids:
+                if pid in seen:
+                    self._fail(f"proclet #{pid} double-placed")
+                seen.add(pid)
+                if loc._table.get(pid) is not machine:
+                    self._fail(
+                        f"proclet #{pid} in {machine.name}'s residency set "
+                        f"but table says "
+                        f"{getattr(loc._table.get(pid), 'name', None)}")
+        if seen != set(loc._table):
+            self._fail("locator table and residency sets disagree: "
+                       f"{sorted(seen ^ set(loc._table))}")
+        for pid, machine in loc._table.items():
+            proclet = proclets.get(pid)
+            if proclet is None:
+                self._fail(f"locator maps dead proclet #{pid}")
+            if proclet._machine is not machine:
+                self._fail(
+                    f"{proclet.name}: locator says {machine.name}, proclet "
+                    f"says {getattr(proclet._machine, 'name', None)}")
+        for pid, proclet in proclets.items():
+            if pid not in loc._table:
+                self._fail(f"live proclet {proclet.name} missing from "
+                           f"locator")
+
+    def _check_memory_conservation(self) -> None:
+        loc = self.runtime.locator
+        migration = self.runtime.migration
+        proclets = self.runtime._proclets
+        for m in self.runtime.cluster.machines:
+            if not m.up:
+                if m.memory.used != 0.0:
+                    self._fail(f"crashed {m.name} holds "
+                               f"{m.memory.used:.0f} B of DRAM")
+                if loc.proclets_on(m):
+                    self._fail(f"crashed {m.name} still hosts proclets "
+                               f"{loc.proclets_on(m)}")
+                continue
+            resident = sum(proclets[pid].footprint
+                           for pid in loc.proclets_on(m))
+            expected = (resident + m.memory.ballast
+                        + migration.inflight_reserved_on(m))
+            if not math.isclose(m.memory.used, expected,
+                                rel_tol=1e-9, abs_tol=_MEM_EPS):
+                self._fail(
+                    f"{m.name} DRAM ledger {m.memory.used:.1f} B != "
+                    f"{expected:.1f} B (residents {resident:.1f} + ballast "
+                    f"{m.memory.ballast:.1f} + in-flight "
+                    f"{migration.inflight_reserved_on(m):.1f})")
+            if m.memory.used > m.memory.capacity + _MEM_EPS:
+                self._fail(f"{m.name} DRAM oversubscribed: "
+                           f"{m.memory.used:.0f} / "
+                           f"{m.memory.capacity:.0f} B")
+
+    def _schedulers(self):
+        for m in self.runtime.cluster.machines:
+            yield m.cpu.sched
+            yield m.nic.tx
+            if m.gpus is not None:
+                yield m.gpus.sched
+            if m.storage is not None:
+                yield m.storage.iops
+                yield m.storage.read_bw
+                yield m.storage.write_bw
+
+    def _check_fluid(self) -> None:
+        for sched in self._schedulers():
+            if sched._dirty:
+                # A coalesced reassignment is pending; it will flush
+                # before time advances and the next event re-checks.
+                continue
+            eps = _RATE_EPS * max(1.0, sched.capacity)
+            total = 0.0
+            hungriest: Optional[int] = None
+            for it in sched._items:
+                rate = it._rate
+                if rate < -eps or rate > it.demand + eps:
+                    self._fail(f"{sched.name}/{it.name}: rate {rate!r} "
+                               f"outside [0, demand={it.demand!r}]")
+                total += rate
+                if rate < it.demand - eps and (hungriest is None
+                                               or it.priority < hungriest):
+                    hungriest = it.priority
+            if total > sched.capacity + eps:
+                self._fail(f"{sched.name}: rates sum to {total!r} > "
+                           f"capacity {sched.capacity!r}")
+            if not math.isclose(total, sched._load,
+                                rel_tol=1e-9, abs_tol=eps):
+                self._fail(f"{sched.name}: cached load {sched._load!r} != "
+                           f"rate sum {total!r}")
+            if hungriest is not None:
+                for it in sched._items:
+                    if it.priority > hungriest and it._rate > eps:
+                        self._fail(
+                            f"{sched.name}/{it.name}: class {it.priority} "
+                            f"served while class {hungriest} is hungry")
+            if self.oracle and sched._items:
+                self.oracle_comparisons += 1
+                divergences = _oracle.compare(sched)
+                if divergences:
+                    self._fail(f"oracle divergence: "
+                               + "; ".join(map(str, divergences)))
+
+    def _check_gates(self) -> None:
+        from ..runtime.proclet import ProcletStatus
+
+        now = self.runtime.sim.now
+        live_gates: set = set()
+        for proclet in self.runtime._proclets.values():
+            if proclet._status is ProcletStatus.DEAD:
+                self._fail(f"{proclet.name} is DEAD but still registered")
+            if proclet._status is ProcletStatus.MIGRATING:
+                gate = proclet._migration_gate
+                if gate is None:
+                    self._fail(f"{proclet.name} MIGRATING without a gate")
+                if gate.triggered:
+                    self._fail(f"{proclet.name} MIGRATING behind an "
+                               f"already-open gate")
+                key = id(gate)
+                live_gates.add(key)
+                first = self._gate_seen.setdefault(key, now)
+                if now - first > self.gate_timeout:
+                    self._fail(
+                        f"{proclet.name} gated for "
+                        f"{now - first:.3f}s > {self.gate_timeout:.3f}s "
+                        f"(permanently gated?)")
+        # Forget gates that opened, so ids can be reused safely.
+        for key in list(self._gate_seen):
+            if key not in live_gates:
+                del self._gate_seen[key]
+
+    def __repr__(self) -> str:
+        return (f"<InvariantChecker checks={self.checks} "
+                f"oracle={'on' if self.oracle else 'off'} "
+                f"stride={self.stride}>")

@@ -1,0 +1,119 @@
+"""Brute-force reference implementation of the fluid water-fill.
+
+The incremental engine in :mod:`repro.sim.fluid` earns its speed with
+dirty-flags, persistent priority buckets, and cached aggregates — all
+state that can silently rot under churn.  This module recomputes the
+rate vector from first principles on every call, with an intentionally
+different algorithm (fixed-point freeze iteration instead of the
+engine's sorted single pass), and compares the two.  Agreement between
+two independent derivations is the differential-testing guarantee the
+chaos suite leans on.
+
+Both algorithms compute the same mathematical object — strict priority
+across classes, max-min fairness with demand caps within a class — so
+they agree up to floating-point summation order.  ``compare`` therefore
+takes tolerances; the defaults flag anything beyond a few ulps of a
+realistic capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+_EPS = 1e-12
+
+
+def max_min_rates(demands: Sequence[float], capacity: float) -> List[float]:
+    """Max-min fair shares of *capacity* with per-item demand caps.
+
+    Fixed-point iteration: repeatedly hand every unfrozen item an equal
+    share; items whose demand is below the share are frozen at their
+    demand, returning the leftover to the pool.  Terminates in at most
+    ``len(demands)`` rounds (every round freezes at least one item or
+    finishes).
+    """
+    n = len(demands)
+    rates = [0.0] * n
+    active = list(range(n))
+    cap = max(0.0, float(capacity))
+    while active and cap > _EPS:
+        share = cap / len(active)
+        constrained = [i for i in active if demands[i] <= share]
+        if not constrained:
+            for i in active:
+                rates[i] = share
+            return rates
+        for i in constrained:
+            rates[i] = demands[i]
+            cap -= demands[i]
+        cap = max(0.0, cap)
+        active = [i for i in active if demands[i] > share]
+    return rates
+
+
+def reference_rates(items: Sequence[Tuple[float, int]],
+                    capacity: float) -> List[float]:
+    """Rate vector for ``items`` = [(demand, priority), ...].
+
+    Strict priority: each class is water-filled against whatever
+    capacity the more urgent classes left over.
+    """
+    by_prio: Dict[int, List[int]] = {}
+    for idx, (_demand, prio) in enumerate(items):
+        by_prio.setdefault(prio, []).append(idx)
+    rates = [0.0] * len(items)
+    remaining = float(capacity)
+    for prio in sorted(by_prio):
+        group = by_prio[prio]
+        group_rates = max_min_rates([items[i][0] for i in group], remaining)
+        for i, rate in zip(group, group_rates):
+            rates[i] = rate
+        remaining = max(0.0, remaining - sum(group_rates))
+    return rates
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One item whose engine rate disagrees with the oracle."""
+
+    scheduler: str
+    item: str
+    engine_rate: float
+    oracle_rate: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.engine_rate - self.oracle_rate)
+
+    def __str__(self) -> str:
+        return (f"{self.scheduler}/{self.item}: engine={self.engine_rate!r} "
+                f"oracle={self.oracle_rate!r} (err={self.error:.3e})")
+
+
+def compare(sched, rel_tol: float = 1e-9,
+            abs_tol: float = 1e-9) -> List[Divergence]:
+    """Diff a live :class:`FluidScheduler` against the oracle.
+
+    Returns the divergences (empty list = perfect agreement).  Reading
+    ``item.rate`` flushes any pending coalesced reassignment first, so
+    the engine is compared in its settled state.  Also checks the
+    cached ``load`` aggregate against the recomputed rate sum — a
+    stale cache is a divergence on the synthetic item ``"<load>"``.
+    """
+    items = sched.items
+    oracle = reference_rates([(it.demand, it.priority) for it in items],
+                             sched.capacity)
+    scale = max(1.0, sched.capacity)
+    out: List[Divergence] = []
+    for it, want in zip(items, oracle):
+        got = it.rate
+        if abs(got - want) > max(abs_tol, rel_tol * scale):
+            out.append(Divergence(scheduler=sched.name, item=it.name,
+                                  engine_rate=got, oracle_rate=want))
+    cached_load = sched.load
+    if abs(cached_load - sum(oracle)) > max(abs_tol, rel_tol * scale):
+        out.append(Divergence(scheduler=sched.name, item="<load>",
+                              engine_rate=cached_load,
+                              oracle_rate=sum(oracle)))
+    return out

@@ -1,0 +1,255 @@
+"""Canned chaos scenario: workload + faults + invariants in one call.
+
+:func:`run_chaos` builds a cluster, starts a realistic mixed workload
+(an elastic compute pool streaming tasks plus a set of memory shards
+under key churn), expands a seeded :class:`RandomFaultPlan` into a
+schedule, arms the injector, attaches the :class:`InvariantChecker`,
+and runs to the horizon.  The whole run is a pure function of the
+config — same seed, same everything — which :meth:`ChaosResult.digest`
+makes checkable: the CLI runs a scenario twice and diffs the digests.
+
+Application-level fault tolerance is deliberately simple (the paper's
+position: redo logic is the app's policy): a healer listener re-spawns
+pool members and memory shards a short delay after each crash, and the
+drivers treat :class:`ProcletLost` on a stale ref as a signal to drop
+the shard and move on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..cluster import ClusterSpec, MachineSpec, OutOfMemory
+from ..core import Quicksand, QuicksandConfig
+from ..runtime import MachineFailed, MigrationFailed, ProcletLost
+from ..runtime.errors import DeadProclet, InvalidPlacement
+from ..units import GiB, MiB
+from .faults import FaultSchedule, MachineCrash, RandomFaultPlan
+from .injector import ChaosInjector
+from .invariants import InvariantChecker
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for one chaos run.  Everything that can influence the
+    simulation is in here — the run is a pure function of this object."""
+
+    seed: int = 42
+    machines: int = 4
+    cores: int = 8
+    dram_bytes: float = 4 * GiB
+    duration: float = 2.0
+    # Workload.
+    shards: int = 6
+    shard_item_bytes: float = 8 * MiB
+    churn_interval: float = 0.002
+    pool_members: int = 3
+    parallelism: int = 2
+    task_interval: float = 0.003
+    task_work: float = 0.004
+    # Fault plan (see RandomFaultPlan for the remaining defaults).
+    crash_probability: float = 0.6
+    migration_flakiness: float = 0.25
+    heal_delay: float = 0.02
+    # Checking.
+    oracle: bool = False
+    invariant_stride: int = 1
+    gate_timeout: Optional[float] = None  # default: the full horizon
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of a chaos run that completed with all invariants holding
+    (a violation raises instead of returning)."""
+
+    config: ChaosConfig
+    schedule: FaultSchedule
+    injected: int
+    skipped: int
+    machines_crashed: int
+    tasks_done: int
+    lost_calls: int
+    invariant_checks: int
+    oracle_comparisons: int
+    migrations: int
+    migrations_retried: int
+    migrations_failed: int
+    trace_lines: List[str] = field(repr=False, default_factory=list)
+    counters: List[str] = field(repr=False, default_factory=list)
+
+    def digest(self) -> str:
+        """Hex digest of everything observable about the run.  Two runs
+        of the same config must produce identical digests — this is the
+        determinism acceptance check."""
+        h = hashlib.sha256()
+        for line in self.trace_lines:
+            h.update(line.encode())
+            h.update(b"\n")
+        for line in self.counters:
+            h.update(line.encode())
+            h.update(b"\n")
+        h.update(f"tasks={self.tasks_done}\n".encode())
+        h.update(f"lost={self.lost_calls}\n".encode())
+        h.update(f"checks={self.invariant_checks}\n".encode())
+        return h.hexdigest()
+
+    def report(self) -> str:
+        lines = [
+            f"chaos run: seed={self.config.seed} "
+            f"machines={self.config.machines} "
+            f"duration={self.config.duration:.2f}s",
+            f"  faults injected   : {self.injected} "
+            f"({self.skipped} skipped)",
+            f"  machines crashed  : {self.machines_crashed}",
+            f"  tasks completed   : {self.tasks_done}",
+            f"  calls hit faults  : {self.lost_calls}",
+            f"  migrations        : {self.migrations} "
+            f"({self.migrations_retried} retried, "
+            f"{self.migrations_failed} failed)",
+            f"  invariant checks  : {self.invariant_checks} "
+            f"(oracle comparisons: {self.oracle_comparisons})",
+            f"  digest            : {self.digest()}",
+            "fault schedule:",
+            self.schedule.describe(),
+        ]
+        return "\n".join(lines)
+
+
+def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
+    """Execute one seeded chaos scenario end to end.
+
+    Raises :class:`repro.chaos.InvariantViolation` the moment any global
+    invariant breaks; returns a :class:`ChaosResult` otherwise.
+    """
+    names = [f"m{i}" for i in range(config.machines)]
+    spec = ClusterSpec(
+        machines=[MachineSpec(name=n, cores=config.cores,
+                              dram_bytes=config.dram_bytes)
+                  for n in names],
+        seed=config.seed,
+    )
+    qs = Quicksand(spec, config=QuicksandConfig())
+    sim = qs.sim
+
+    plan = RandomFaultPlan(
+        seed=config.seed, machines=names, duration=config.duration,
+        crash_probability=config.crash_probability,
+        migration_flakiness=config.migration_flakiness,
+    )
+    schedule = plan.schedule(dram_bytes=config.dram_bytes)
+    injector = ChaosInjector(qs.runtime, schedule)
+    checker = InvariantChecker(
+        qs.runtime, oracle=config.oracle, stride=config.invariant_stride,
+        gate_timeout=(config.gate_timeout if config.gate_timeout is not None
+                      else config.duration),
+    ).attach(sim)
+
+    state = _Workload(qs, config)
+    state.start()
+
+    def after_fault(fault) -> None:
+        if isinstance(fault, MachineCrash):
+            sim.call_in(config.heal_delay, state.heal)
+
+    injector.on_fault(after_fault)
+    injector.start()
+
+    qs.run(until=config.duration)
+    checker.check()  # final state must hold too
+    checker.detach()
+
+    metrics = qs.metrics
+    counters = [f"{name}={c.total:g}"
+                for name, c in sorted(metrics._counters.items())]
+
+    return ChaosResult(
+        config=config,
+        schedule=schedule,
+        injected=len(injector.injected),
+        skipped=len(injector.skipped),
+        machines_crashed=injector.machines_crashed,
+        tasks_done=state.pool.total_done,
+        lost_calls=state.lost_calls,
+        invariant_checks=checker.checks,
+        oracle_comparisons=checker.oracle_comparisons,
+        migrations=qs.runtime.migration.migrations_completed,
+        migrations_retried=qs.runtime.migration.migrations_retried,
+        migrations_failed=qs.runtime.migration.migrations_failed,
+        trace_lines=[str(e) for e in qs.runtime.tracer.events],
+        counters=counters,
+    )
+
+
+class _Workload:
+    """The mixed workload a chaos scenario runs underneath the faults."""
+
+    def __init__(self, qs: Quicksand, config: ChaosConfig):
+        self.qs = qs
+        self.config = config
+        self.pool = None
+        self.shards: List = []
+        self.lost_calls = 0
+        self._next_key = 0
+
+    def start(self) -> None:
+        self.pool = self.qs.compute_pool(
+            name="chaos-pool", parallelism=self.config.parallelism,
+            initial_members=self.config.pool_members)
+        for i in range(self.config.shards):
+            self.shards.append(self.qs.spawn_memory(name=f"shard{i}"))
+        self.qs.sim.process(self._task_driver(), name="chaos-tasks")
+        self.qs.sim.process(self._churn_driver(), name="chaos-churn")
+
+    # -- fault recovery ------------------------------------------------------
+    def heal(self) -> None:
+        """Replace pool members and shards lost to a crash.  Retries
+        later if the cluster currently has nowhere to put them."""
+        try:
+            self.pool.heal()
+            dead = [ref for ref in self.shards
+                    if self.qs.runtime._proclets.get(ref.proclet_id) is None]
+            for ref in dead:
+                self.shards.remove(ref)
+                self.shards.append(
+                    self.qs.spawn_memory(name=f"{ref.name}.re"))
+        except (OutOfMemory, InvalidPlacement, MachineFailed):
+            self.qs.sim.call_in(self.config.heal_delay, self.heal)
+
+    # -- drivers -------------------------------------------------------------
+    def _task_driver(self) -> Generator:
+        rng = self.qs.sim.random.stream("chaos.workload.tasks")
+        while True:
+            yield self.qs.sim.timeout(
+                rng.expovariate(1.0 / self.config.task_interval))
+            if not self.pool.members:
+                continue  # wiped out; the healer will restock
+            work = rng.uniform(0.5, 1.5) * self.config.task_work
+            try:
+                self.pool.run(work)
+            except (ProcletLost, DeadProclet, MachineFailed):
+                self.lost_calls += 1
+
+    def _churn_driver(self) -> Generator:
+        rng = self.qs.sim.random.stream("chaos.workload.mem")
+        while True:
+            yield self.qs.sim.timeout(
+                rng.expovariate(1.0 / self.config.churn_interval))
+            if not self.shards:
+                continue
+            ref = self.shards[rng.randrange(len(self.shards))]
+            key = f"k{self._next_key}"
+            self._next_key += 1
+            nbytes = rng.uniform(0.5, 1.5) * self.config.shard_item_bytes
+            ev = self.qs.runtime.invoke(ref, "mp_put", key, nbytes)
+            ev.subscribe(self._on_churn_done)
+
+    def _on_churn_done(self, event) -> None:
+        if not event.ok:
+            if isinstance(event.value,
+                          (DeadProclet, MachineFailed, OutOfMemory,
+                           MigrationFailed)):
+                self.lost_calls += 1
+            else:
+                raise event.value

@@ -63,6 +63,26 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run one seeded chaos scenario (optionally twice, diffing digests)."""
+    from .chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(seed=args.seed, machines=args.machines,
+                         duration=args.duration, oracle=args.oracle,
+                         invariant_stride=args.stride)
+    result = run_chaos(config)
+    print(result.report())
+    if args.check_determinism:
+        replay = run_chaos(config)
+        if replay.digest() != result.digest():
+            print("DETERMINISM FAILURE: replay digest "
+                  f"{replay.digest()} != {result.digest()}")
+            return 1
+        print(f"replay digest matches ({result.digest()[:16]}...): "
+              "run is deterministic")
+    return 0
+
+
 def _cmd_all(args) -> int:
     """Regenerate every figure and ablation; optionally write a file."""
     from .experiments import ablations, fig1_filler, fig2_imbalance
@@ -119,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     ps = sub.add_parser("sweep",
                         help="EXT-SWEEP: fungibility gain vs burst period")
     ps.set_defaults(fn=_cmd_sweep)
+
+    pc = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run with invariant checking")
+    pc.add_argument("--seed", type=int, default=42)
+    pc.add_argument("--machines", type=int, default=4)
+    pc.add_argument("--duration", type=float, default=2.0)
+    pc.add_argument("--oracle", action="store_true",
+                    help="also diff every fluid scheduler against the "
+                         "brute-force water-fill oracle (slow)")
+    pc.add_argument("--stride", type=int, default=1,
+                    help="check invariants every N-th event")
+    pc.add_argument("--check-determinism", action="store_true",
+                    help="run the scenario twice and require identical "
+                         "digests")
+    pc.set_defaults(fn=_cmd_chaos)
 
     pall = sub.add_parser("all", help="regenerate every figure + ablation")
     pall.add_argument("--out", default=None,

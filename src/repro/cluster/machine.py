@@ -34,10 +34,40 @@ class Machine:
             if spec.storage is not None else None
         )
         self.metrics = metrics
+        #: False while the machine is crashed (fail-stop).
+        self.up = True
+        #: Bumped on every crash; reservations made against an older
+        #: incarnation must not be released against the new one.
+        self.incarnation = 0
+
+    # -- fail-stop state -----------------------------------------------------
+    def fail(self) -> None:
+        """Take the machine down: no cores, no NIC, DRAM wiped.
+
+        Callers that need the full runtime semantics (killing hosted
+        proclets, failing in-flight work) should go through
+        :meth:`repro.runtime.NuRuntime.fail_machine`, which ends here.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.incarnation += 1
+        self.cpu.set_cores(0.0)
+        self.nic.take_down()
+        self.memory.wipe()
+
+    def restore(self) -> None:
+        """Bring a crashed machine back, empty, at full spec capacity."""
+        if self.up:
+            return
+        self.up = True
+        self.cpu.set_cores(self.spec.cores)
+        self.nic.bring_up()
 
     def __repr__(self) -> str:
         return (f"<Machine {self.name} cores={self.cpu.cores:g} "
-                f"dram={self.memory.capacity / 2**30:.1f} GiB>")
+                f"dram={self.memory.capacity / 2**30:.1f} GiB"
+                f"{'' if self.up else ' DOWN'}>")
 
     # Machines are used as dict keys throughout the scheduler.
     def __hash__(self) -> int:

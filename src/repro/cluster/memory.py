@@ -41,6 +41,9 @@ class Memory:
         # (threshold, callback) pairs fired on upward crossings
         self._watermarks: List[Tuple[float, Callable[["Memory"], None]]] = []
         self.peak_used = 0.0
+        #: Bytes reserved by fault injection (pressure-spike ballast),
+        #: tracked separately so accounting invariants can subtract it.
+        self.ballast = 0.0
 
     # -- reservations --------------------------------------------------------
     @property
@@ -83,6 +86,34 @@ class Memory:
         self.used = max(0.0, self.used - nbytes)
         if self._gauge is not None:
             self._gauge.set(self.sim.now, self.used)
+
+    # -- fault injection -----------------------------------------------------
+    def set_ballast(self, nbytes: float) -> float:
+        """Pin *nbytes* of DRAM as fault-injection ballast.
+
+        Models a memory-pressure spike (an antagonist process ballooning)
+        without going through the proclet ledger.  The request is clamped
+        to what actually fits, so a spike can never itself violate the
+        capacity invariant; watermark callbacks fire exactly as they would
+        for a real allocation.  Returns the ballast actually held.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative ballast: {nbytes}")
+        target = min(float(nbytes), self.ballast + self.free)
+        delta = target - self.ballast
+        if delta > 0:
+            self.reserve(delta)
+        elif delta < 0:
+            self.release(-delta)
+        self.ballast = target
+        return self.ballast
+
+    def wipe(self) -> None:
+        """Machine crash: all DRAM contents (and ballast) vanish."""
+        self.used = 0.0
+        self.ballast = 0.0
+        if self._gauge is not None:
+            self._gauge.set(self.sim.now, 0.0)
 
     # -- signals -----------------------------------------------------------------
     def add_watermark(self, threshold: float,

@@ -26,6 +26,11 @@ class Fabric:
         self.metrics = metrics
         self.total_bytes_moved = 0.0
         self.total_transfers = 0
+        # Partitioned machine pairs ({id, id} frozensets).  Bulk
+        # transfers between partitioned machines stall (transport-layer
+        # retry) and resume when the partition heals.
+        self._partitions: set = set()
+        self._heal_gate: Event = None  # recreated per partition epoch
 
     # -- bulk data -----------------------------------------------------------
     def transfer(self, src: Machine, dst: Machine, nbytes: float,
@@ -50,6 +55,9 @@ class Fabric:
         self.total_bytes_moved += nbytes
         # Wire latency, then serialization onto the sender's NIC.
         yield self.sim.timeout(self.spec.latency)
+        # A partition stalls the flow (transport retries) until healed.
+        while self.is_partitioned(src, dst):
+            yield self._partition_gate()
         if nbytes > 0:
             item = src.nic.send(nbytes, priority=priority, name=name)
             yield item.done
@@ -57,6 +65,44 @@ class Fabric:
         if self.metrics is not None:
             self.metrics.count("net.transfers")
             self.metrics.count("net.bytes", nbytes)
+
+    # -- partitions ----------------------------------------------------------
+    def partition(self, a: Machine, b: Machine) -> None:
+        """Cut bulk connectivity between *a* and *b* (both directions).
+
+        Only bulk transfers stall; small control messages are modeled as
+        unqueued latency and keep flowing (a deliberate simplification —
+        the runtime's correctness never depends on control-plane loss).
+        """
+        if a is b:
+            raise ValueError("cannot partition a machine from itself")
+        self._partitions.add(frozenset((a.id, b.id)))
+
+    def heal(self, a: Machine, b: Machine) -> None:
+        """Restore connectivity between *a* and *b*; stalled flows resume."""
+        self._partitions.discard(frozenset((a.id, b.id)))
+        self._release_stalled()
+
+    def heal_all(self) -> None:
+        """Drop every partition."""
+        if self._partitions:
+            self._partitions.clear()
+            self._release_stalled()
+
+    def is_partitioned(self, a: Machine, b: Machine) -> bool:
+        return bool(self._partitions) and \
+            frozenset((a.id, b.id)) in self._partitions
+
+    def _partition_gate(self) -> Event:
+        """Event that fires at the next heal (shared by stalled flows)."""
+        if self._heal_gate is None:
+            self._heal_gate = self.sim.event()
+        return self._heal_gate
+
+    def _release_stalled(self) -> None:
+        gate, self._heal_gate = self._heal_gate, None
+        if gate is not None:
+            gate.succeed()  # stalled transfers re-check their pair
 
     # -- small messages -----------------------------------------------------------
     def oneway_delay(self, req_bytes: float = 256.0) -> float:

@@ -94,15 +94,16 @@ class Quicksand:
             m = self.placement.best_for_compute(
                 getattr(proclet, "parallelism", 1))
             if m is None:
-                # No idle cores anywhere: fall back to the machine with
-                # the least planned+actual CPU commitment.
+                # No idle cores anywhere: fall back to the live machine
+                # with the least planned+actual CPU commitment.
+                live = [x for x in self.cluster.machines if x.up]
                 m = max(
-                    self.cluster.machines,
+                    live,
                     key=lambda x: min(
                         x.cpu.free_cores(),
                         x.cpu.cores - self.placement._planned_demand(x),
                     ),
-                )
+                ) if live else None
         elif kind is ResourceKind.GPU:
             m = self.placement.best_for_gpu()
         elif kind is ResourceKind.STORAGE:

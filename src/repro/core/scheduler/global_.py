@@ -50,7 +50,7 @@ class GlobalScheduler:
     def _rebalance_by_packing(self) -> None:
         from .binpack import PackItem, plan_packing
 
-        machines = self.qs.cluster.machines
+        machines = [m for m in self.qs.cluster.machines if m.up]
         by_name = {m.name: m for m in machines}
 
         def apply_plan(items, capacities):
@@ -95,7 +95,7 @@ class GlobalScheduler:
         )
 
     def _rebalance_compute(self) -> None:
-        machines = self.qs.cluster.machines
+        machines = [m for m in self.qs.cluster.machines if m.up]
         if len(machines) < 2:
             return
         ratios = [(self._normal_cpu_demand(m) / m.cpu.cores, m)
@@ -125,7 +125,7 @@ class GlobalScheduler:
 
     # -- memory balance --------------------------------------------------------
     def _rebalance_memory(self) -> None:
-        machines = self.qs.cluster.machines
+        machines = [m for m in self.qs.cluster.machines if m.up]
         if len(machines) < 2:
             return
         by_pressure = sorted(machines, key=lambda m: m.memory.pressure)

@@ -39,7 +39,7 @@ class PlacementPolicy:
         skip = set(exclude)
         best, best_free = None, -1.0
         for m in self.cluster.machines:
-            if m in skip:
+            if m in skip or not m.up:
                 continue
             free = m.memory.free
             if free >= nbytes and free > best_free:
@@ -63,7 +63,7 @@ class PlacementPolicy:
         skip = set(exclude)
         best, best_free = None, 0.0
         for m in self.cluster.machines:
-            if m in skip:
+            if m in skip or not m.up:
                 continue
             free = m.cpu.free_cores(priority)
             # Also subtract *planned* demand: compute proclets already
@@ -87,14 +87,15 @@ class PlacementPolicy:
         return total
 
     def total_free_cores(self, priority: Priority = Priority.NORMAL) -> float:
-        return sum(m.cpu.free_cores(priority) for m in self.cluster.machines)
+        return sum(m.cpu.free_cores(priority)
+                   for m in self.cluster.machines if m.up)
 
     # -- gpu ---------------------------------------------------------------------
     def best_for_gpu(self) -> Optional[Machine]:
         """Machine with the most idle GPUs."""
         best, best_free = None, -1.0
         for m in self.cluster.machines:
-            if m.gpus is None:
+            if m.gpus is None or not m.up:
                 continue
             free = m.gpus.sched.free_capacity()
             if free > best_free:
@@ -106,7 +107,7 @@ class PlacementPolicy:
         """Machine whose storage device has the most free capacity."""
         best, best_free = None, -1.0
         for m in self.cluster.machines:
-            if m.storage is None:
+            if m.storage is None or not m.up:
                 continue
             free = m.storage.free
             if free >= nbytes and free > best_free:

@@ -14,7 +14,7 @@ import collections
 from typing import Any, Deque, Generator, List, Optional, Tuple
 
 from ..cluster import Machine
-from ..runtime import Payload, ProcletStatus
+from ..runtime import MachineFailed, Payload, ProcletStatus
 from ..units import US
 from ..core.resource import ResourceKind, ResourceProclet
 
@@ -270,8 +270,19 @@ class ShardedQueue:
                                 name=f"{self.name}.q{len(self.shards)}")
         new_gate = self.qs._block(new)
         if dst is not src.machine:
-            yield self.qs.cluster.fabric.transfer(
-                src.machine, dst, nbytes, name=f"{self.name}.split")
+            try:
+                yield self.qs.cluster.fabric.transfer(
+                    src.machine, dst, nbytes, name=f"{self.name}.split")
+            except MachineFailed:
+                # An endpoint crashed mid-copy: abandon the split.  A
+                # dead endpoint's gate was opened by the fail path; a
+                # surviving source keeps its items.
+                if new.status is not ProcletStatus.DEAD:
+                    self.qs.runtime.destroy(new_ref)
+                if src.status is not ProcletStatus.DEAD:
+                    src.install_items(items)
+                    self.qs._unblock(src, gate)
+                return None
         new.install_items(items)
         self.qs._unblock(new, new_gate)
         self.qs._unblock(src, gate)
@@ -296,16 +307,49 @@ class ShardedQueue:
 
     def _merge_proc(self, shard) -> Generator:
         src = shard.proclet
-        survivor = next((s for s in self.shards if s is not shard), None)
-        if survivor is None or src.status is not ProcletStatus.RUNNING:
+        if src.status is not ProcletStatus.RUNNING \
+                or all(s is shard for s in self.shards):
             return None
         gate = self.qs._block(src)
         yield self.qs.sim.timeout(self.qs.config.split_overhead)
+        if src.status is ProcletStatus.DEAD:
+            # The source died while gated (machine failure); the fail
+            # path already opened the gate, and the items died with it.
+            return None
+
+        def pick_survivor():
+            # Chosen fresh after every yield: a shard picked before a
+            # wait may itself have been merged away (and destroyed) in
+            # the meantime, and installing into a dead shard loses items.
+            return next(
+                (s for s in self.shards
+                 if s is not shard
+                 and s.proclet.status is ProcletStatus.RUNNING),
+                None)
+
+        def abort():
+            src.install_items(items)
+            self.qs._unblock(src, gate)
+            return None
+
         items, nbytes = src.extract_everything()
+        survivor = pick_survivor()
+        if survivor is None:
+            return abort()
         if survivor.machine is not src.machine and nbytes > 0:
-            yield self.qs.cluster.fabric.transfer(
-                src.machine, survivor.machine, nbytes,
-                name=f"{self.name}.merge")
+            try:
+                yield self.qs.cluster.fabric.transfer(
+                    src.machine, survivor.machine, nbytes,
+                    name=f"{self.name}.merge")
+            except MachineFailed:
+                # An endpoint crashed mid-copy.  If the source survives
+                # it keeps its items; if it died they die with it.
+                if src.status is not ProcletStatus.DEAD:
+                    return abort()
+                return None
+            survivor = pick_survivor()  # may have died during the copy
+            if survivor is None:
+                return abort()
         survivor.proclet.install_items(items)
         self.qs._unblock(src, gate)
         self.shards.remove(shard)

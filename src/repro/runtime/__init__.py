@@ -6,6 +6,7 @@ from .errors import (
     InvalidPlacement,
     MachineFailed,
     MigrationFailed,
+    ProcletLost,
     RuntimeFault,
     UnknownMethod,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "NuRuntime",
     "Payload",
     "Proclet",
+    "ProcletLost",
     "ProcletRef",
     "ProcletStatus",
     "RuntimeFault",

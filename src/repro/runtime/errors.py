@@ -27,6 +27,15 @@ class MachineFailed(RuntimeFault):
     """The machine hosting a proclet failed while work was in flight."""
 
 
+class ProcletLost(DeadProclet):
+    """The proclet died with its machine (fail-stop node loss).
+
+    Subclasses :class:`DeadProclet` so existing handlers keep working,
+    but lets fault-tolerance code distinguish "destroyed on purpose"
+    from "lost to a crash" — the latter is the case worth retrying
+    against a replica or rebuilding from upstream state."""
+
+
 class WrongShard(RuntimeFault):
     """The key no longer belongs to this shard (it split or merged after
     the caller routed).  Clients retry against refreshed routing."""

@@ -5,7 +5,10 @@ Timeline (matching Nu's design, §2 of the paper):
 1. mark the proclet MIGRATING — new invocations block on a gate;
 2. detach its running CPU work items from the source machine (threads
    pause, their remaining work is preserved);
-3. reserve DRAM at the destination (abort cleanly if it cannot fit);
+3. reserve DRAM at the destination; a *transient* failure (destination
+   momentarily out of memory, or an injected chaos fault) backs off and
+   retries up to ``max_retries`` times before surfacing
+   :class:`MigrationFailed`;
 4. copy the heap over the fabric (tx-bandwidth contention applies) plus
    a fixed control overhead;
 5. release source DRAM, flip the locator entry;
@@ -14,12 +17,22 @@ Timeline (matching Nu's design, §2 of the paper):
 With the default constants a proclet with 10 MiB of heap migrates in
 about one millisecond over a 100 Gbit/s NIC, matching the number the
 paper quotes for Nu.
+
+Crash safety: either endpoint may fail-stop mid-migration.  If the
+source dies the proclet dies with it (the runtime's fail path triggers
+the gate and fails paused work so callers never hang); if the
+destination dies the migration aborts back to the source with
+:class:`MigrationFailed` and the destination reservation is reconciled
+against the machine's *incarnation* counter (a reservation made against
+a wiped DRAM must not be double-released).  In-flight destination
+reservations are tracked so the chaos invariant checker can account for
+every reserved byte at any instant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Callable, Dict, Generator, Optional, Tuple
 
 from ..cluster import Machine, OutOfMemory
 from ..units import US
@@ -35,10 +48,22 @@ class MigrationConfig:
     fixed_overhead: float = 50 * US
     #: Control-plane cost paid after the copy (remap, resume, update).
     resume_overhead: float = 50 * US
+    #: Transient destination failures retried this many times before the
+    #: migration surfaces :class:`MigrationFailed`.
+    max_retries: int = 2
+    #: Delay before the first retry; each further retry multiplies it.
+    retry_backoff: float = 200 * US
+    backoff_multiplier: float = 2.0
 
     def __post_init__(self):
         if self.fixed_overhead < 0 or self.resume_overhead < 0:
             raise ValueError("migration overheads must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
 
 
 class MigrationEngine:
@@ -50,6 +75,22 @@ class MigrationEngine:
         self.migrations_started = 0
         self.migrations_completed = 0
         self.migrations_failed = 0
+        self.migrations_retried = 0
+        #: Chaos hook, called once per reservation attempt as
+        #: ``fn(proclet, dst) -> bool``; returning True injects a
+        #: transient failure into that attempt (retried like OOM).
+        self.fault_hook: Optional[Callable[[Proclet, Machine], bool]] = None
+        # Destination DRAM held by in-flight migrations:
+        # proclet id -> (dst, bytes, dst incarnation at reserve time).
+        self._inflight: Dict[int, Tuple[Machine, float, int]] = {}
+
+    def inflight_reserved_on(self, machine: Machine) -> float:
+        """Bytes of *machine*'s DRAM reserved by in-flight migrations
+        (for accounting invariants)."""
+        return sum(
+            nbytes for dst, nbytes, inc in self._inflight.values()
+            if dst is machine and inc == machine.incarnation
+        )
 
     def migrate(self, proclet: Proclet, dst: Machine):
         """Start migrating *proclet* to *dst*; returns the completion
@@ -59,8 +100,19 @@ class MigrationEngine:
             name=f"migrate:{proclet.name}",
         )
 
+    def _release_inflight(self, proclet: Proclet) -> None:
+        """Drop the in-flight reservation, returning the DRAM unless the
+        destination crashed (wiping it) since the reservation was made."""
+        entry = self._inflight.pop(proclet.id, None)
+        if entry is None:
+            return
+        dst, nbytes, inc = entry
+        if dst.up and dst.incarnation == inc:
+            dst.memory.release(nbytes)
+
     def _migrate_proc(self, proclet: Proclet, dst: Machine) -> Generator:
         sim = self.runtime.sim
+        config = self.config
         src = proclet.machine
         if proclet.status is ProcletStatus.DEAD:
             raise MigrationFailed(f"{proclet!r} is dead")
@@ -68,11 +120,16 @@ class MigrationEngine:
             raise MigrationFailed(f"{proclet!r} is already migrating")
         if dst is src:
             return 0.0
+        if not dst.up:
+            raise MigrationFailed(f"destination {dst.name} is down")
 
         self.migrations_started += 1
         t0 = sim.now
         proclet._status = ProcletStatus.MIGRATING
         proclet._migration_gate = sim.event()
+        # Heap size is snapshotted once: reserve, copy, and release must
+        # agree on one number even if accounting shifts mid-flight.
+        nbytes = proclet.footprint
 
         # Pause: detach running CPU work (threads freeze mid-computation).
         paused = list(proclet._active_cpu)
@@ -80,31 +137,90 @@ class MigrationEngine:
             if item.active:
                 item._sched.detach(item)
 
-        def _abort():
+        def _abort_to_src():
+            # Reopen shop at the source.  Only reachable while the
+            # proclet still lives there — if the source died, the
+            # runtime's fail path already killed proclet and gate.
             for item in paused:
                 if not item.active and not item.done.triggered:
                     src.cpu.sched.attach(item)
             proclet._status = ProcletStatus.RUNNING
             gate, proclet._migration_gate = proclet._migration_gate, None
-            gate.succeed()
+            if gate is not None and not gate.triggered:
+                gate.succeed()
 
-        # Reserve at destination before copying (fail fast on OOM).
-        try:
-            dst.memory.reserve(proclet.footprint)
-        except OutOfMemory as exc:
+        def _fail(msg: str, cause: Optional[BaseException] = None):
             self.migrations_failed += 1
-            _abort()
-            raise MigrationFailed(str(exc)) from exc
+            if proclet._status is ProcletStatus.MIGRATING:
+                _abort_to_src()
+            exc = MigrationFailed(msg)
+            exc.__cause__ = cause
+            return exc
 
-        yield sim.timeout(self.config.fixed_overhead)
-        xfer = self.runtime.fabric.transfer(
-            src, dst, proclet.footprint, name=f"mig:{proclet.name}",
-        )
-        yield xfer
-        yield sim.timeout(self.config.resume_overhead)
+        # Reserve at destination, retrying transient failures with
+        # exponential backoff (the proclet stays gated while backing off).
+        attempt = 0
+        backoff = config.retry_backoff
+        while True:
+            if proclet._status is ProcletStatus.DEAD:
+                raise _fail(f"{proclet.name}: source machine died "
+                            f"mid-migration")
+            if not dst.up:
+                raise _fail(f"destination {dst.name} went down")
+            transient: Optional[BaseException] = None
+            try:
+                dst.memory.reserve(nbytes)
+            except OutOfMemory as exc:
+                transient = exc
+            if transient is None and self.fault_hook is not None \
+                    and self.fault_hook(proclet, dst):
+                dst.memory.release(nbytes)
+                transient = MigrationFailed(
+                    f"injected transient fault migrating {proclet.name} "
+                    f"to {dst.name}")
+            if transient is None:
+                break
+            if attempt >= config.max_retries:
+                raise _fail(f"{transient} (after {attempt} retries)",
+                            cause=transient)
+            attempt += 1
+            self.migrations_retried += 1
+            if self.runtime.metrics is not None:
+                self.runtime.metrics.count("runtime.migration.retries")
+            yield sim.timeout(backoff)
+            backoff *= config.backoff_multiplier
+
+        self._inflight[proclet.id] = (dst, nbytes, dst.incarnation)
+        try:
+            yield sim.timeout(config.fixed_overhead)
+            self._checkpoint(proclet, dst)
+            xfer = self.runtime.fabric.transfer(
+                src, dst, nbytes, name=f"mig:{proclet.name}",
+            )
+            yield xfer
+            self._checkpoint(proclet, dst)
+            yield sim.timeout(config.resume_overhead)
+            self._checkpoint(proclet, dst)
+        except MigrationFailed as exc:
+            self._release_inflight(proclet)
+            raise _fail(str(exc), cause=exc.__cause__ or exc.__context__)
+        except GeneratorExit:
+            # The process was abandoned (simulation ended mid-copy and
+            # the generator is being finalized).  Raising anything other
+            # than GeneratorExit here would surface during GC — at an
+            # arbitrary point in the host program — so just reconcile
+            # the reservation and let close() complete.
+            self._release_inflight(proclet)
+            raise
+        except BaseException as exc:
+            # e.g. MachineFailed thrown into the copy when the source's
+            # NIC work was failed by a crash.
+            self._release_inflight(proclet)
+            raise _fail(f"{proclet.name}: {exc}", cause=exc)
 
         # Commit: move accounting and location.
-        src.memory.release(proclet.footprint)
+        self._inflight.pop(proclet.id, None)
+        src.memory.release(nbytes)
         proclet._machine = dst
         self.runtime.locator.move(proclet.id, dst)
 
@@ -124,10 +240,27 @@ class MigrationEngine:
         if m is not None:
             m.count("runtime.migrations")
             m.observe("runtime.migration.latency", latency)
-            m.observe("runtime.migration.bytes", proclet.footprint)
+            m.observe("runtime.migration.bytes", nbytes)
         self.runtime.tracer.emit(
             "migration", f"{proclet.name} {src.name}->{dst.name}",
-            bytes=int(proclet.footprint), latency_us=round(latency * 1e6, 1),
+            bytes=int(nbytes), latency_us=round(latency * 1e6, 1),
         )
         proclet.on_migrated(src, dst)
         return latency
+
+    def _checkpoint(self, proclet: Proclet, dst: Machine) -> None:
+        """Abort the copy if either endpoint failed since the last yield.
+
+        The destination check compares *incarnations*, not just ``up``:
+        a crash-and-restart between checkpoints leaves the machine up
+        but its DRAM (including our reservation) wiped, so committing
+        against it would place the proclet on unaccounted memory.
+        """
+        if proclet._status is ProcletStatus.DEAD:
+            raise MigrationFailed(
+                f"{proclet.name}: source machine died mid-migration")
+        entry = self._inflight.get(proclet.id)
+        if not dst.up or (entry is not None
+                          and entry[2] != dst.incarnation):
+            raise MigrationFailed(
+                f"{proclet.name}: destination {dst.name} died mid-migration")

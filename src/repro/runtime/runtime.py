@@ -15,7 +15,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from ..cluster import Cluster, Machine, Priority
 from ..sim import Process
 from .context import Context
-from .errors import DeadProclet, UnknownMethod
+from .errors import DeadProclet, MachineFailed, ProcletLost, UnknownMethod
 from .locator import Locator
 from .migration import MigrationConfig, MigrationEngine
 from .proclet import Proclet, ProcletStatus
@@ -41,6 +41,9 @@ class NuRuntime:
         self.locator = Locator()
         self.migration = MigrationEngine(self, migration_config)
         self._proclets: Dict[int, Proclet] = {}
+        # Ids of proclets killed by machine failures: lookups through a
+        # stale ref raise ProcletLost instead of the generic DeadProclet.
+        self._lost: set = set()
         self._next_id = 0
         self.local_calls = 0
         self.remote_calls = 0
@@ -60,6 +63,10 @@ class NuRuntime:
         """
         if proclet._id is not None:
             raise ValueError(f"{proclet!r} was already spawned")
+        if not machine.up:
+            raise MachineFailed(
+                f"cannot spawn {type(proclet).__name__} on crashed "
+                f"machine {machine.name}")
         machine.memory.reserve(proclet.footprint)
         pid = self._next_id
         self._next_id += 1
@@ -93,6 +100,9 @@ class NuRuntime:
     def get_proclet(self, proclet_id: int) -> Proclet:
         proclet = self._proclets.get(proclet_id)
         if proclet is None:
+            if proclet_id in self._lost:
+                raise ProcletLost(
+                    f"proclet #{proclet_id} was lost to a machine failure")
             raise DeadProclet(f"proclet #{proclet_id} does not exist")
         return proclet
 
@@ -215,10 +225,15 @@ class NuRuntime:
 
         Models fail-stop node loss for fault-injection tests; returns
         the proclets that were lost.  The rest of the cluster keeps
-        running (granular fault isolation, §5).
+        running (granular fault isolation, §5).  Afterwards the machine
+        is marked down (``machine.up`` is False): it refuses spawns and
+        placement, its cores and NIC are gone, and in-flight migrations
+        targeting it abort with :class:`MigrationFailed` at their next
+        checkpoint.  A later :meth:`restore_machine` brings it back
+        empty.  Idempotent on an already-down machine.
         """
-        from .errors import MachineFailed
-
+        if not machine.up:
+            return []
         lost = self.proclets_on(machine)
         exc = MachineFailed(f"machine {machine.name} failed")
         for proclet in lost:
@@ -229,14 +244,36 @@ class NuRuntime:
                 gate.succeed()  # blocked callers re-check and see DEAD
             self.locator.remove(proclet.id)
             del self._proclets[proclet.id]
-        # Fail all CPU work on the machine (method bodies observe it).
+            self._lost.add(proclet.id)
+        # Fail all in-flight work on the machine's resources (method
+        # bodies and remote waiters observe MachineFailed).
         machine.cpu.sched.fail_all(exc)
         machine.nic.tx.fail_all(exc)
-        # The machine's DRAM contents are gone.
-        machine.memory.release(machine.memory.used)
+        if machine.gpus is not None:
+            machine.gpus.sched.fail_all(exc)
+        if machine.storage is not None:
+            machine.storage.iops.fail_all(exc)
+            machine.storage.read_bw.fail_all(exc)
+            machine.storage.write_bw.fail_all(exc)
+        # Fail-stop the hardware: cores offline, NIC down, DRAM wiped.
+        machine.fail()
         if self.metrics is not None:
             self.metrics.count("runtime.machine_failures")
+        self.tracer.emit("failure", f"machine {machine.name} crashed",
+                         lost_proclets=len(lost))
         return lost
+
+    def restore_machine(self, machine: Machine) -> None:
+        """Bring a crashed machine back online, empty and at full spec
+        capacity.  Proclets lost in the crash stay dead (fail-stop, no
+        disk-backed resurrection); placement simply starts considering
+        the machine again.  Idempotent on an up machine."""
+        if machine.up:
+            return
+        machine.restore()
+        if self.metrics is not None:
+            self.metrics.count("runtime.machine_restores")
+        self.tracer.emit("failure", f"machine {machine.name} restored")
 
     # -- heap-change notifications (split/merge controller hook) -----------------
     def on_heap_change(self, fn: Callable[[Proclet], None]) -> None:

@@ -49,6 +49,8 @@ class Simulator:
         # Fluid schedulers with a coalesced reassignment pending; always
         # drained before virtual time advances (see _drain_flushes).
         self._pending_flushes: list = []
+        # Called as fn(self) after every processed event (see add_observer).
+        self._observers: list = []
         self.random = RandomStreams(seed)
 
     # -- time -------------------------------------------------------------
@@ -85,6 +87,25 @@ class Simulator:
             "dead_entries": self._dead,
             "compactions": self._compactions,
         }
+
+    # -- observation --------------------------------------------------------
+    def add_observer(self, fn) -> None:
+        """Call ``fn(self)`` after every processed event.
+
+        Observers must be read-only with respect to simulation state:
+        they run synchronously inside the event loop, after the event's
+        callbacks, and anything they mutate perturbs the run.  The chaos
+        :class:`~repro.chaos.InvariantChecker` uses this hook to assert
+        global invariants at every step of a simulation.
+        """
+        self._observers.append(fn)
+
+    def remove_observer(self, fn) -> None:
+        """Detach a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
 
     # -- event construction -------------------------------------------------
     def event(self) -> Event:
@@ -199,6 +220,9 @@ class Simulator:
                 self._now = when
                 self._processed_events += 1
                 event._process()
+                if self._observers:
+                    for fn in self._observers:
+                        fn(self)
                 return
         finally:
             self._running = False
@@ -218,7 +242,10 @@ class Simulator:
         ``until`` is an absolute virtual time at which to stop (the clock
         is advanced to exactly that time).  ``until_event`` stops the loop
         once that event has been processed and returns its value;
-        a failed ``until_event`` re-raises its exception.
+        a failed ``until_event`` re-raises its exception.  If the queue
+        drains without the event triggering, ``run`` raises
+        ``RuntimeError`` (the event is deadlocked) — unless ``until`` was
+        also given, which makes the wait an ordinary bounded one.
         With neither, runs until the event queue drains.
         """
         if until is not None and until < self._now:
@@ -240,6 +267,7 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         flushes = self._pending_flushes
+        observers = self._observers
         self._running = True
         try:
             while queue or flushes:
@@ -261,6 +289,9 @@ class Simulator:
                 self._now = entry[0]
                 self._processed_events += 1
                 event._process()
+                if observers:
+                    for fn in observers:
+                        fn(self)
         except StopSimulation as exc:
             return exc.value
         finally:
@@ -273,6 +304,15 @@ class Simulator:
             if not until_event.ok:
                 raise until_event.value
             return until_event.value
+        if until_event is not None and until is None:
+            # The queue drained with the awaited event untriggered:
+            # whatever it depends on is deadlocked (e.g. blocked on a
+            # gate nobody will open).  Returning None here would let the
+            # caller mistake a hung operation for a completed one.
+            raise RuntimeError(
+                f"run(until_event={until_event!r}) deadlocked: the event "
+                f"queue drained at t={self._now:.6f}s without it "
+                f"triggering")
         return None
 
     def stop(self, value: Any = None) -> None:

@@ -1,0 +1,117 @@
+"""Differential testing: the incremental fluid engine vs the
+brute-force oracle.
+
+The engine (:mod:`repro.sim.fluid`) maintains rates incrementally with
+dirty-flags, priority buckets, and cached aggregates.  The oracle
+(:mod:`repro.chaos.oracle`) recomputes the whole rate vector from first
+principles with a different algorithm.  Here we drive the engine through
+randomized mutation sequences — submissions, cancellations, demand and
+priority changes, capacity changes (including the dips to near-zero a
+chaos NIC-degrade fault produces), detach/attach, and virtual-time
+advances — and require exact agreement (to float tolerance) after every
+single mutation.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos import compare, max_min_rates, reference_rates
+from repro.sim import FluidScheduler, Simulator
+
+
+class TestOracleBasics:
+    def test_max_min_unconstrained(self):
+        assert max_min_rates([1.0, 1.0], 4.0) == [1.0, 1.0]
+
+    def test_max_min_contended_equal_split(self):
+        assert max_min_rates([5.0, 5.0], 4.0) == [2.0, 2.0]
+
+    def test_max_min_small_demand_frozen_first(self):
+        # 0.5 is frozen at its demand; the other two split the rest.
+        assert max_min_rates([0.5, 5.0, 5.0], 4.0) == \
+            pytest.approx([0.5, 1.75, 1.75])
+
+    def test_max_min_zero_capacity(self):
+        assert max_min_rates([1.0, 2.0], 0.0) == [0.0, 0.0]
+
+    def test_max_min_empty(self):
+        assert max_min_rates([], 4.0) == []
+
+    def test_strict_priority_starves_lower_class(self):
+        # Class 0 takes everything; class 1 gets nothing.
+        rates = reference_rates([(3.0, 0), (2.0, 1)], 2.0)
+        assert rates == [2.0, 0.0]
+
+    def test_priority_leftover_flows_down(self):
+        rates = reference_rates([(1.0, 0), (2.0, 1), (2.0, 1)], 4.0)
+        assert rates == pytest.approx([1.0, 1.5, 1.5])
+
+
+def mutate(rng, sim, sched, items):
+    """Apply one random mutation; returns a short op label."""
+    op = rng.randrange(8)
+    live = [it for it in items if it.active]
+    if op == 0 or not live:
+        items.append(sched.submit(
+            work=rng.uniform(0.05, 5.0),
+            demand=rng.uniform(0.1, 4.0),
+            priority=rng.randrange(3)))
+        return "submit"
+    if op == 1:
+        sched.cancel(rng.choice(live))
+        return "cancel"
+    if op == 2:
+        # Includes deep dips: a chaos fault can degrade a NIC to a
+        # sliver of nominal, or machine failure zeroes core capacity.
+        sched.set_capacity(rng.choice([0.001, 0.5, 1.0, 2.0, 4.0, 8.0]))
+        return "capacity"
+    if op == 3:
+        sched.set_demand(rng.choice(live), rng.uniform(0.05, 4.0))
+        return "demand"
+    if op == 4:
+        sched.set_priority(rng.choice(live), rng.randrange(3))
+        return "priority"
+    if op == 5:
+        it = rng.choice(live)
+        sched.detach(it)
+        sched.attach(it)
+        return "detach-attach"
+    if op == 6:
+        items.append(sched.hold(demand=rng.uniform(0.1, 2.0),
+                                priority=rng.randrange(3)))
+        return "hold"
+    sim.run(until=sim.now + rng.uniform(0.001, 0.5))
+    return "advance"
+
+
+# 220 randomized mutation sequences, ~25 mutations each: every one of
+# the ~5500 intermediate engine states must match the oracle exactly.
+@pytest.mark.parametrize("seed", range(220))
+def test_engine_matches_oracle_after_every_mutation(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    sched = FluidScheduler(sim, capacity=rng.choice([1.0, 2.0, 4.0]),
+                           name=f"diff{seed}")
+    items = []
+    for step in range(25):
+        label = mutate(rng, sim, sched, items)
+        divergences = compare(sched)
+        assert not divergences, (
+            f"seed {seed} step {step} ({label}): {divergences}")
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_oracle_agreement_survives_drain(seed):
+    """After the workload drains completely, engine and oracle agree on
+    the empty state too (load exactly 0)."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    sched = FluidScheduler(sim, 2.0, name="drain")
+    for _ in range(rng.randrange(1, 10)):
+        sched.submit(work=rng.uniform(0.01, 0.5),
+                     demand=rng.uniform(0.1, 2.0),
+                     priority=rng.randrange(2))
+    sim.run()
+    assert not compare(sched)
+    assert sched.load == 0.0

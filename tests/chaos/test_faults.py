@@ -1,0 +1,116 @@
+"""Tests for the fault vocabulary and seeded plan expansion."""
+
+import pytest
+
+from repro.chaos import (
+    FaultSchedule,
+    MachineCrash,
+    MachineRestart,
+    MemoryPressure,
+    MigrationFlakiness,
+    NicDegrade,
+    RandomFaultPlan,
+)
+from repro.units import GiB
+
+
+class TestFaultSchedule:
+    def test_sorted_by_time(self):
+        sched = FaultSchedule([
+            MachineCrash(at=0.5, machine="b"),
+            MachineCrash(at=0.1, machine="a"),
+        ])
+        assert [f.at for f in sched] == [0.1, 0.5]
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([MachineCrash(at=-0.1, machine="a")])
+
+    def test_equality_and_describe(self):
+        a = FaultSchedule([MachineCrash(at=0.1, machine="a")])
+        b = FaultSchedule([MachineCrash(at=0.1, machine="a")])
+        c = FaultSchedule([MachineCrash(at=0.2, machine="a")])
+        assert a == b and a != c
+        assert "MachineCrash" in a.describe()
+        assert "machine='a'" in a.describe()
+
+    def test_empty_schedule_is_fine(self):
+        sched = FaultSchedule()
+        assert len(sched) == 0
+        assert "(empty)" in sched.describe()
+
+
+class TestRandomFaultPlan:
+    def plan(self, seed=1, **kw):
+        kw.setdefault("machines", ["m0", "m1", "m2"])
+        kw.setdefault("duration", 1.0)
+        return RandomFaultPlan(seed=seed, **kw)
+
+    def test_same_seed_same_schedule(self):
+        assert self.plan(seed=3).schedule(4 * GiB) == \
+            self.plan(seed=3).schedule(4 * GiB)
+
+    def test_different_seed_different_schedule(self):
+        schedules = {tuple(self.plan(seed=s).schedule(4 * GiB))
+                     for s in range(10)}
+        assert len(schedules) > 1
+
+    def test_ensure_crash(self):
+        # Even with a tiny crash probability, ensure_crash forces one.
+        for seed in range(20):
+            plan = self.plan(seed=seed, crash_probability=0.01)
+            crashes = [f for f in plan.schedule()
+                       if isinstance(f, MachineCrash)]
+            assert len(crashes) >= 1
+
+    def test_never_crashes_every_machine(self):
+        for seed in range(30):
+            plan = self.plan(seed=seed, crash_probability=1.0)
+            crashed = {f.machine for f in plan.schedule()
+                       if isinstance(f, MachineCrash)}
+            assert len(crashed) < len(plan.machines)
+
+    def test_faults_inside_horizon(self):
+        for seed in range(10):
+            for f in self.plan(seed=seed).schedule(4 * GiB):
+                assert 0.0 <= f.at <= 1.0
+
+    def test_crashes_land_mid_experiment(self):
+        for seed in range(10):
+            for f in self.plan(seed=seed).schedule():
+                if isinstance(f, MachineCrash):
+                    assert 0.1 <= f.at <= 0.9
+
+    def test_no_pressure_without_dram_size(self):
+        for seed in range(10):
+            faults = self.plan(seed=seed).schedule(dram_bytes=0.0)
+            assert not any(isinstance(f, MemoryPressure) for f in faults)
+
+    def test_restart_follows_its_crash(self):
+        for seed in range(10):
+            faults = list(self.plan(seed=seed).schedule())
+            crash_at = {f.machine: f.at for f in faults
+                        if isinstance(f, MachineCrash)}
+            for f in faults:
+                if isinstance(f, MachineRestart):
+                    assert f.at > crash_at[f.machine]
+
+    def test_flakiness_fault_present(self):
+        faults = self.plan(seed=5, migration_flakiness=0.5).schedule()
+        flaky = [f for f in faults if isinstance(f, MigrationFlakiness)]
+        assert len(flaky) == 1 and flaky[0].probability == 0.5
+
+    def test_nic_degrade_fraction_bounded(self):
+        for seed in range(10):
+            for f in self.plan(seed=seed).schedule():
+                if isinstance(f, NicDegrade):
+                    assert 0.2 <= f.fraction <= 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomFaultPlan(seed=1, machines=[], duration=1.0)
+        with pytest.raises(ValueError):
+            RandomFaultPlan(seed=1, machines=["a"], duration=0.0)
+        with pytest.raises(ValueError):
+            RandomFaultPlan(seed=1, machines=["a"], duration=1.0,
+                            crash_probability=1.5)

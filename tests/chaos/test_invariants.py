@@ -1,0 +1,157 @@
+"""Tests for the invariant checker: it passes on healthy runs and
+catches deliberately corrupted state."""
+
+import pytest
+
+from repro.chaos import InvariantChecker, InvariantViolation
+from repro.units import MiB
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+def checked(qs, **kw):
+    return InvariantChecker(qs.runtime, **kw).attach(qs.sim)
+
+
+class TestHealthyRuns:
+    def test_clean_workload_passes(self, qs):
+        checker = checked(qs)
+        pool = qs.compute_pool(initial_members=2)
+        ref = qs.spawn_memory()
+        ref.call("mp_put", "k", 10 * MiB)
+        for _ in range(5):
+            pool.run(0.001)
+        qs.run(until=0.1)
+        assert checker.checks > 0
+        checker.check()  # final state also holds
+
+    def test_holds_across_migration(self, qs):
+        checker = checked(qs)
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", "k", 50 * MiB))
+        qs.run(until_event=qs.runtime.migrate(ref.proclet, m1))
+        assert checker.checks > 0
+
+    def test_holds_across_machine_failure(self, qs):
+        checker = checked(qs)
+        m0, _ = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        ref.call("mp_put", "k", 10 * MiB)
+        qs.run(until=0.01)
+        qs.runtime.fail_machine(m0)
+        qs.run(until=0.02)
+        qs.runtime.restore_machine(m0)
+        qs.run(until=0.03)
+        assert checker.checks > 0
+
+    def test_stride_reduces_check_frequency(self, qs):
+        every = checked(qs)
+        sparse = InvariantChecker(qs.runtime, stride=10).attach(qs.sim)
+        qs.compute_pool(initial_members=2).run(0.001)
+        qs.run(until=0.05)
+        assert 0 < sparse.checks < every.checks
+        sparse.detach()
+        every.detach()
+        n = every.checks
+        qs.run(until=0.06)
+        assert every.checks == n  # detached checkers stop counting
+
+    def test_oracle_mode_runs_comparisons(self, qs):
+        checker = checked(qs, oracle=True)
+        qs.compute_pool(initial_members=2).run(0.005)
+        qs.run(until=0.05)
+        assert checker.oracle_comparisons > 0
+
+    def test_bad_stride_rejected(self, qs):
+        with pytest.raises(ValueError):
+            InvariantChecker(qs.runtime, stride=0)
+
+
+class TestCorruptionDetected:
+    def test_double_placement(self, qs):
+        checker = checked(qs)
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        loc = qs.runtime.locator
+        loc._by_machine.setdefault(m1, set()).add(ref.proclet_id)
+        with pytest.raises(InvariantViolation, match="double-placed|disagree"):
+            checker.check()
+
+    def test_locator_proclet_disagreement(self, qs):
+        checker = checked(qs)
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        ref.proclet._machine = m1  # locator still says m0
+        with pytest.raises(InvariantViolation, match="locator says"):
+            checker.check()
+
+    def test_memory_leak_detected(self, qs):
+        checker = checked(qs)
+        m0 = qs.machines[0]
+        m0.memory.reserve(64 * MiB)  # bytes nobody accounts for
+        with pytest.raises(InvariantViolation, match="DRAM ledger"):
+            checker.check()
+
+    def test_memory_underaccounting_detected(self, qs):
+        checker = checked(qs)
+        m0 = qs.machines[0]
+        qs.spawn_memory(machine=m0)
+        m0.memory.release(32 * 1024)  # bytes released out of thin air
+        with pytest.raises(InvariantViolation, match="DRAM ledger"):
+            checker.check()
+
+    def test_crashed_machine_with_residual_memory(self, qs):
+        checker = checked(qs)
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        m0.memory.used = 10.0  # corrupt the wiped ledger
+        with pytest.raises(InvariantViolation, match="crashed"):
+            checker.check()
+
+    def test_fluid_rate_corruption_detected(self, qs):
+        checker = checked(qs)
+        m0 = qs.machines[0]
+        item = m0.cpu.sched.submit(work=10.0, demand=1.0)
+        qs.run(until=0.001)
+        item._rate = 1e9  # corrupt: far beyond demand and capacity
+        with pytest.raises(InvariantViolation, match="rate|load"):
+            checker.check()
+
+    def test_stale_load_cache_detected(self, qs):
+        checker = checked(qs)
+        m0 = qs.machines[0]
+        m0.cpu.sched.submit(work=10.0, demand=2.0)
+        qs.run(until=0.001)
+        m0.cpu.sched._load = 123.0  # corrupt the cached aggregate
+        with pytest.raises(InvariantViolation, match="cached load"):
+            checker.check()
+
+    def test_permanently_gated_proclet_detected(self, qs):
+        checker = checked(qs, gate_timeout=0.01)
+        ref = qs.spawn_memory()
+        proclet = ref.proclet
+        # Simulate a stuck migration: gate never opens.
+        from repro.runtime import ProcletStatus
+
+        proclet._status = ProcletStatus.MIGRATING
+        proclet._migration_gate = qs.sim.event()
+        checker.check()  # first sighting: starts the clock
+        qs.sim.run(until=0.1)
+        with pytest.raises(InvariantViolation, match="gated"):
+            checker.check()
+
+    def test_violation_surfaces_through_run(self, qs):
+        """Attached checker fails the run at the first bad event."""
+        checked(qs)
+        m0 = qs.machines[0]
+        qs.sim.call_at(0.01, m0.memory.reserve, 64 * MiB)
+        with pytest.raises(InvariantViolation):
+            qs.run(until=0.02)

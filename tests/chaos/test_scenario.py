@@ -1,0 +1,69 @@
+"""End-to-end chaos scenario tests: determinism, crash coverage, and
+the CLI entry point."""
+
+import pytest
+
+from repro.chaos import ChaosConfig, run_chaos
+
+
+def small(seed=42, **kw):
+    kw.setdefault("machines", 3)
+    kw.setdefault("duration", 0.4)
+    return ChaosConfig(seed=seed, **kw)
+
+
+class TestScenario:
+    def test_completes_with_invariants_holding(self):
+        result = run_chaos(small())
+        assert result.invariant_checks > 100
+        assert result.injected >= 1
+        assert result.tasks_done > 0
+
+    def test_at_least_one_machine_crashes(self):
+        result = run_chaos(small())
+        assert result.machines_crashed >= 1
+
+    def test_replay_is_bit_identical(self):
+        a = run_chaos(small(seed=11))
+        b = run_chaos(small(seed=11))
+        assert a.digest() == b.digest()
+        assert a.trace_lines == b.trace_lines
+        assert a.counters == b.counters
+        assert a.tasks_done == b.tasks_done
+
+    def test_different_seeds_diverge(self):
+        a = run_chaos(small(seed=1))
+        b = run_chaos(small(seed=2))
+        assert a.digest() != b.digest()
+
+    def test_report_mentions_the_schedule(self):
+        result = run_chaos(small())
+        report = result.report()
+        assert "digest" in report
+        assert "MachineCrash" in report
+        assert str(result.machines_crashed) in report
+
+    def test_oracle_mode(self):
+        result = run_chaos(small(duration=0.2, oracle=True,
+                                 invariant_stride=20))
+        assert result.oracle_comparisons > 0
+
+
+class TestChaosCli:
+    def test_chaos_command_deterministic(self, capsys):
+        from repro.cli import main
+
+        rc = main(["chaos", "--seed", "3", "--duration", "0.3",
+                   "--machines", "3", "--check-determinism"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "deterministic" in out
+        assert "MachineCrash" in out
+
+    def test_chaos_command_stride(self, capsys):
+        from repro.cli import main
+
+        rc = main(["chaos", "--seed", "4", "--duration", "0.2",
+                   "--stride", "25"])
+        assert rc == 0
+        assert "invariant checks" in capsys.readouterr().out

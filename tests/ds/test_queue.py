@@ -128,6 +128,35 @@ class TestBurstAbsorption:
         qs.sim.run(until=qs.sim.now + 0.5)
         assert q.shard_count == 1  # back to the initial footprint
 
+    def test_concurrent_merges_do_not_orphan_a_shard(self, qs):
+        """Two shards merging at once: the second merge's survivor must
+        be re-chosen after the overhead wait, because the shard picked
+        before the wait may itself have been merged away (regression:
+        this left a shard permanently gated and lost its items)."""
+        from repro.runtime import ProcletStatus
+
+        # Controller off: this test scripts the two merges itself.
+        qs = make_qs(enable_split_merge=False,
+                     enable_local_scheduler=False,
+                     enable_global_scheduler=False)
+        q = qs.sharded_queue(name="q", initial_shards=1)
+        q._add_shard()
+        q._add_shard()
+        q0, q1, q2 = q.shards
+        qs.sim.run(until_event=q2.call("qp_push", 1 * KiB, "survive-me"))
+        # Merge q0 first (its survivor is q1), then q2 — whose survivor,
+        # chosen naively up front, would be the soon-to-be-destroyed q0.
+        ev0 = q.merge_shard_by_id(q0.proclet_id)
+        ev2 = q.merge_shard_by_id(q2.proclet_id)
+        qs.sim.run(until_event=qs.sim.all_of([ev0, ev2]))
+        assert q.shard_count == 1
+        assert all(s.proclet.status is ProcletStatus.RUNNING
+                   for s in q.shards)
+        assert qs.sim.run(until_event=q.try_pop()) == "survive-me"
+        # The queue must still accept pushes (no shard stuck gated).
+        qs.sim.run(until_event=q.push("after", 1 * KiB))
+        assert q.length == 1
+
     def test_destroy(self, qs):
         before = sum(m.memory.used for m in qs.machines)
         q = qs.sharded_queue(initial_shards=2)

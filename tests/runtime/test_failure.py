@@ -3,7 +3,13 @@
 import pytest
 
 from repro import Proclet, Task
-from repro.runtime import DeadProclet, MachineFailed
+from repro.runtime import (
+    DeadProclet,
+    MachineFailed,
+    MigrationFailed,
+    ProcletLost,
+    ProcletStatus,
+)
 
 from ..conftest import make_qs
 
@@ -136,3 +142,170 @@ class TestPoolHealing:
         pool = qs.compute_pool(initial_members=2)
         assert pool.heal() == 0
         assert pool.size == 2
+
+    def test_orphans_replaced_on_survivors_only(self):
+        qs = make_qs(enable_local_scheduler=False,
+                     enable_global_scheduler=False,
+                     enable_split_merge=False)
+        m0, m1 = qs.machines
+        pool = qs.compute_pool(initial_members=4)
+        qs.run(until=0.005)
+        assert any(r.machine is m0 for r in pool.members)
+        qs.runtime.fail_machine(m0)
+        pool.heal()
+        assert pool.size == 4
+        assert all(r.machine is m1 for r in pool.members)
+
+
+class TestProcletLost:
+    """Refs to proclets that died with their machine raise a *typed*
+    error, distinguishable from deliberate destruction."""
+
+    @pytest.fixture
+    def qs(self):
+        return make_qs(enable_local_scheduler=False,
+                       enable_global_scheduler=False,
+                       enable_split_merge=False)
+
+    def test_lookup_of_lost_proclet_raises_proclet_lost(self, qs):
+        m0 = qs.machines[0]
+        ref = qs.spawn(Echo(), m0)
+        qs.runtime.fail_machine(m0)
+        with pytest.raises(ProcletLost):
+            qs.runtime.get_proclet(ref.proclet_id)
+        with pytest.raises(ProcletLost):
+            ref.proclet
+
+    def test_call_on_lost_proclet_raises_proclet_lost(self, qs):
+        m0 = qs.machines[0]
+        ref = qs.spawn(Echo(), m0)
+        qs.runtime.fail_machine(m0)
+        with pytest.raises(ProcletLost):
+            qs.run(until_event=ref.call("ping"))
+
+    def test_proclet_lost_is_a_dead_proclet(self, qs):
+        """Existing DeadProclet handlers keep working."""
+        assert issubclass(ProcletLost, DeadProclet)
+
+    def test_destroyed_proclet_stays_generic_dead(self, qs):
+        ref = qs.spawn(Echo(), qs.machines[0])
+        qs.runtime.destroy(ref)
+        with pytest.raises(DeadProclet) as exc_info:
+            qs.runtime.get_proclet(ref.proclet_id)
+        assert not isinstance(exc_info.value, ProcletLost)
+
+
+class TestMachineRestore:
+    @pytest.fixture
+    def qs(self):
+        return make_qs(enable_local_scheduler=False,
+                       enable_global_scheduler=False,
+                       enable_split_merge=False)
+
+    def test_down_machine_excluded_from_placement(self, qs):
+        m0, m1 = qs.machines
+        qs.runtime.fail_machine(m0)
+        for _ in range(4):
+            assert qs.spawn_memory().machine is m1
+            assert qs.spawn_compute().machine is m1
+
+    def test_spawn_on_down_machine_rejected(self, qs):
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        with pytest.raises(MachineFailed):
+            qs.spawn(Echo(), m0)
+
+    def test_restore_rejoins_placement_empty(self, qs):
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", 0, 100 * 2**20, None))
+        qs.runtime.fail_machine(m0)
+        qs.runtime.restore_machine(m0)
+        assert m0.up
+        assert m0.memory.used == 0.0
+        assert m0.cpu.cores == m1.cpu.cores
+        # Placement prefers the now-empty machine for memory.
+        assert qs.spawn_memory().machine is m0
+        # ...and it serves calls again.
+        spawned = qs.spawn(Echo(), m0)
+        assert qs.run(until_event=spawned.call("ping")) == "m0"
+
+    def test_fail_and_restore_are_idempotent(self, qs):
+        m0 = qs.machines[0]
+        qs.spawn(Echo(), m0)
+        assert len(qs.runtime.fail_machine(m0)) == 1
+        assert qs.runtime.fail_machine(m0) == []  # second: no-op
+        qs.runtime.restore_machine(m0)
+        qs.runtime.restore_machine(m0)  # no-op
+        assert m0.up
+        assert qs.metrics.counter("runtime.machine_failures").total == 1
+        assert qs.metrics.counter("runtime.machine_restores").total == 1
+
+    def test_lost_proclets_stay_dead_after_restore(self, qs):
+        m0 = qs.machines[0]
+        ref = qs.spawn(Echo(), m0)
+        qs.runtime.fail_machine(m0)
+        qs.runtime.restore_machine(m0)
+        with pytest.raises(ProcletLost):
+            ref.proclet
+
+
+class TestMigrationTargetingDeadMachine:
+    @pytest.fixture
+    def qs(self):
+        return make_qs(enable_local_scheduler=False,
+                       enable_global_scheduler=False,
+                       enable_split_merge=False)
+
+    def test_migration_to_down_machine_fails_immediately(self, qs):
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.runtime.fail_machine(m1)
+        with pytest.raises(MigrationFailed):
+            qs.run(until_event=qs.runtime.migrate(ref.proclet, m1))
+        assert ref.proclet.status is ProcletStatus.RUNNING
+        assert ref.machine is m0
+
+    def test_inflight_migration_aborts_when_destination_dies(self, qs):
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", 0, 200 * 2**20, None))
+        mig = qs.runtime.migrate(ref.proclet, m1)
+        qs.run(until=qs.sim.now + 1e-4)  # copy is in flight
+        qs.runtime.fail_machine(m1)
+        with pytest.raises(MigrationFailed):
+            qs.run(until_event=mig)
+        # The proclet reopened at the source and still serves.
+        p = ref.proclet
+        assert p.machine is m0
+        assert p.status is ProcletStatus.RUNNING
+        assert qs.runtime.migration.inflight_reserved_on(m1) == 0.0
+        qs.run(until_event=ref.call("mp_contains", 0))
+
+    def test_destination_reservation_not_leaked_across_restart(self, qs):
+        """A reservation made before the destination crashed must not be
+        double-released against the restarted (wiped) DRAM."""
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", 0, 200 * 2**20, None))
+        mig = qs.runtime.migrate(ref.proclet, m1)
+        qs.run(until=qs.sim.now + 1e-4)
+        qs.runtime.fail_machine(m1)
+        qs.runtime.restore_machine(m1)  # restart before the abort lands
+        with pytest.raises(MigrationFailed):
+            qs.run(until_event=mig)
+        assert m1.memory.used == 0.0  # nothing released into the void
+
+    def test_source_death_kills_migrating_proclet(self, qs):
+        m0, m1 = qs.machines
+        ref = qs.spawn_memory(machine=m0)
+        qs.run(until_event=ref.call("mp_put", 0, 200 * 2**20, None))
+        mig = qs.runtime.migrate(ref.proclet, m1)
+        qs.run(until=qs.sim.now + 1e-4)
+        qs.runtime.fail_machine(m0)
+        with pytest.raises((MigrationFailed, MachineFailed)):
+            qs.run(until_event=mig)
+        with pytest.raises(ProcletLost):
+            ref.proclet
+        # The destination-side reservation was returned.
+        assert qs.runtime.migration.inflight_reserved_on(m1) == 0.0

@@ -213,6 +213,119 @@ class TestMigrationUnderContention:
             MigrationConfig(fixed_overhead=-1.0)
 
 
+class TestMigrationRetry:
+    """Transient destination failures back off and retry before the
+    migration surfaces MigrationFailed (regression: the engine used to
+    give up on the first OutOfMemory)."""
+
+    def two_machines(self, **config_kwargs):
+        cluster = Cluster(symmetric_cluster(2, cores=8, dram_bytes=GiB))
+        return NuRuntime(cluster, MigrationConfig(**config_kwargs))
+
+    def test_transient_oom_retries_then_succeeds(self):
+        rt = self.two_machines()
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        # Fill the destination so the first reservation attempts fail...
+        m1.memory.set_ballast(m1.memory.capacity - 50 * MiB)
+        mig = rt.migrate(ref, m1)
+        # ...and free it between the first and the last retry (default
+        # backoff: attempts at +0, +200us, +600us).
+        rt.sim.call_in(0.0003, m1.memory.set_ballast, 0.0)
+        rt.sim.run(until_event=mig)
+        assert ref.machine is m1
+        assert rt.migration.migrations_retried >= 1
+        assert rt.migration.migrations_completed == 1
+        assert rt.migration.migrations_failed == 0
+        assert rt.metrics.counter("runtime.migration.retries").total >= 1
+
+    def test_persistent_oom_fails_after_max_retries(self):
+        rt = self.two_machines(max_retries=2)
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        m1.memory.set_ballast(m1.memory.capacity)  # never freed
+        with pytest.raises(MigrationFailed):
+            rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert rt.migration.migrations_retried == 2
+        assert rt.migration.migrations_failed == 1
+        # Clean abort: proclet serves again from the source.
+        p = ref.proclet
+        assert p.machine is m0
+        assert p.status is ProcletStatus.RUNNING
+        assert rt.sim.run(until_event=ref.call("ping")) == "m0"
+
+    def test_zero_retries_fails_on_first_transient(self):
+        rt = self.two_machines(max_retries=0)
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        m1.memory.set_ballast(m1.memory.capacity)
+        with pytest.raises(MigrationFailed):
+            rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert rt.migration.migrations_retried == 0
+
+    def test_backoff_is_exponential(self):
+        rt = self.two_machines(max_retries=3, retry_backoff=0.001,
+                               backoff_multiplier=2.0)
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        t0 = rt.sim.now
+        m1.memory.set_ballast(m1.memory.capacity)
+        with pytest.raises(MigrationFailed):
+            rt.sim.run(until_event=rt.migrate(ref, m1))
+        # Attempts at +0, +1ms, +3ms, +7ms: failure lands at t0 + 7ms.
+        assert rt.sim.now == pytest.approx(t0 + 0.007, abs=1e-6)
+
+    def test_fault_hook_injects_transient_failures(self):
+        rt = self.two_machines()
+        m0, m1 = rt.cluster.machines
+        flips = []
+
+        def flaky_twice(proclet, dst):
+            flips.append((proclet.name, dst.name))
+            return len(flips) <= 2
+
+        rt.migration.fault_hook = flaky_twice
+        ref = rt.spawn(Holder(heap=10 * MiB), m0)
+        rt.sim.run(until=0.001)
+        rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert len(flips) == 3  # two injected failures, then success
+        assert rt.migration.migrations_retried == 2
+        assert ref.machine is m1
+
+    def test_fault_hook_failure_releases_reservation(self):
+        """An injected failure must hand back the trial reservation, or
+        repeated flakiness leaks the destination's DRAM."""
+        rt = self.two_machines(max_retries=0)
+        m0, m1 = rt.cluster.machines
+        rt.migration.fault_hook = lambda p, d: True
+        ref = rt.spawn(Holder(heap=100 * MiB), m0)
+        rt.sim.run(until=0.001)
+        used_before = m1.memory.used
+        with pytest.raises(MigrationFailed):
+            rt.sim.run(until_event=rt.migrate(ref, m1))
+        assert m1.memory.used == pytest.approx(used_before)
+
+    def test_proclet_stays_gated_while_backing_off(self):
+        rt = self.two_machines(max_retries=2, retry_backoff=0.01)
+        m0, m1 = rt.cluster.machines
+        ref = rt.spawn(Holder(heap=10 * MiB), m0)
+        rt.sim.run(until=0.001)
+        m1.memory.set_ballast(m1.memory.capacity)
+        rt.sim.call_in(0.015, m1.memory.set_ballast, 0.0)
+        mig = rt.migrate(ref, m1)
+        rt.sim.run(until=0.005)  # inside the backoff window
+        assert ref.proclet.status is ProcletStatus.MIGRATING
+        call = ref.call("ping")
+        rt.sim.run(until=0.008)
+        assert not call.triggered  # gated during backoff
+        rt.sim.run(until_event=mig)
+        assert rt.sim.run(until_event=call) == "m1"
+
+
 class TestMigrationQueueingSignal:
     def test_queueing_delay_restarts_after_migration(self, rt):
         """``detach`` resets service-start tracking, so after migrating

@@ -62,6 +62,22 @@ class TestSchedulingEdges:
         sim.run(until=7.5)
         assert sim.now == 7.5
 
+    def test_run_until_event_that_deadlocks_raises(self, sim):
+        """A drained queue with the awaited event untriggered is a
+        deadlock — surfacing it beats silently returning None (which
+        lets callers mistake a hung operation for a completed one)."""
+        ev = sim.event()  # nothing will ever succeed this
+        sim.timeout(1.0)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run(until_event=ev)
+
+    def test_run_until_bounds_an_untriggered_event(self, sim):
+        """With an explicit time bound the caller asked for a bounded
+        wait, so an untriggered event is not an error."""
+        ev = sim.event()
+        assert sim.run(until=1.0, until_event=ev) is None
+        assert sim.now == 1.0
+
     def test_repr(self, sim):
         assert "Simulator" in repr(sim)
 
