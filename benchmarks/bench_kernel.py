@@ -46,18 +46,32 @@ def _heap_stats(sim: Simulator) -> dict:
 # mutations the scenario issued (the "useful work" denominator).
 # ---------------------------------------------------------------------------
 
-def scenario_churn(quick: bool):
+def _run_churn(quick: bool, traced: bool):
     """Bursty submit/cancel against a large standing population.
 
     Models proclet thread churn on a busy machine: every virtual
     instant a batch of high-priority items arrives and another batch is
     cancelled, on top of ~1.5k long-lived background holds.  This is
     the pattern the coalesced-reassignment path exists for.
+
+    With ``traced`` a ``repro.obs`` span tracer is attached, so the
+    scenario pays the *enabled*-path recording cost; without it the
+    instrumentation sites take the disabled fast path (one attribute
+    read + branch), which is what the 5% churn CI gate pins.
     """
     rounds = 40 if quick else 120
     batch = 32
     background = 1500
     sim = Simulator(seed=7)
+    if traced:
+        # Tolerate older kernels without repro.obs (the suite must run
+        # unchanged against them to capture "before" numbers).
+        try:
+            from repro.obs import SpanTracer
+        except ImportError:
+            pass
+        else:
+            SpanTracer(sim, label="bench")
     sched = FluidScheduler(sim, 64.0, name="churn")
     ops = 0
 
@@ -82,6 +96,16 @@ def scenario_churn(quick: bool):
     sim.process(driver())
     sim.run(until=1.0)
     return ops, sim
+
+
+def scenario_churn(quick: bool):
+    """Churn with tracing disabled (the default, gated configuration)."""
+    return _run_churn(quick, traced=False)
+
+
+def scenario_tracedchurn(quick: bool):
+    """Churn with a span tracer attached: the enabled-path overhead."""
+    return _run_churn(quick, traced=True)
 
 
 def scenario_fairshare(quick: bool):
@@ -197,6 +221,7 @@ def scenario_timerstorm(quick: bool):
 
 SCENARIOS = {
     "churn": scenario_churn,
+    "tracedchurn": scenario_tracedchurn,
     "fairshare": scenario_fairshare,
     "priostack": scenario_priostack,
     "timerstorm": scenario_timerstorm,

@@ -49,6 +49,9 @@ class ChaosInjector:
         self._flaky_until = -1.0
         self._flaky_probability = 0.0
         self._started = False
+        # Open fault-window spans (repro.obs), keyed by window identity
+        # so the matching restore/heal fault closes the right one.
+        self._windows: Dict[str, object] = {}
 
     # -- wiring --------------------------------------------------------------
     def on_fault(self, fn: Callable[[Fault], None]) -> None:
@@ -78,9 +81,13 @@ class ChaosInjector:
             self._crashed_at[fault.machine] = self.sim.now
             self.machines_crashed += 1
             self.runtime.fail_machine(machine)
+            self._window_begin(f"crash:{fault.machine}",
+                               f"crash {fault.machine}",
+                               machine=fault.machine)
         elif isinstance(fault, MachineRestart):
             machine = self.cluster.machine(fault.machine)
             self.runtime.restore_machine(machine)
+            self._window_end(f"crash:{fault.machine}")
             crashed = self._crashed_at.pop(fault.machine, None)
             if crashed is not None and self.metrics is not None:
                 self.metrics.observe("chaos.downtime",
@@ -89,29 +96,47 @@ class ChaosInjector:
             machine = self.cluster.machine(fault.machine)
             if machine.up:
                 machine.nic.degrade(fault.fraction)
+                self._window_begin(f"nic:{fault.machine}",
+                                   f"nic-degrade {fault.machine}",
+                                   machine=fault.machine,
+                                   fraction=fault.fraction)
         elif isinstance(fault, NicRestore):
             machine = self.cluster.machine(fault.machine)
             if machine.up:
                 machine.nic.restore()
+            self._window_end(f"nic:{fault.machine}")
         elif isinstance(fault, NetworkPartition):
             self.runtime.fabric.partition(self.cluster.machine(fault.a),
                                           self.cluster.machine(fault.b))
+            pair = "|".join(sorted((fault.a, fault.b)))
+            self._window_begin(f"partition:{pair}", f"partition {pair}",
+                               a=fault.a, b=fault.b)
         elif isinstance(fault, PartitionHeal):
             self.runtime.fabric.heal(self.cluster.machine(fault.a),
                                      self.cluster.machine(fault.b))
+            pair = "|".join(sorted((fault.a, fault.b)))
+            self._window_end(f"partition:{pair}")
         elif isinstance(fault, MemoryPressure):
             machine = self.cluster.machine(fault.machine)
             if machine.up:
                 machine.memory.set_ballast(fault.nbytes)
+                self._window_begin(f"mem:{fault.machine}",
+                                   f"memory-pressure {fault.machine}",
+                                   machine=fault.machine,
+                                   nbytes=int(fault.nbytes))
         elif isinstance(fault, MemoryPressureRelease):
             machine = self.cluster.machine(fault.machine)
             if machine.up:
                 machine.memory.set_ballast(0.0)
+            self._window_end(f"mem:{fault.machine}")
         elif isinstance(fault, MigrationFlakiness):
             self._flaky_until = self.sim.now + fault.duration
             self._flaky_probability = fault.probability
             if self.runtime.migration.fault_hook is None:
                 self.runtime.migration.fault_hook = self._flaky_coin
+            self._window_begin("flaky", "migration-flakiness",
+                               probability=fault.probability,
+                               duration=fault.duration)
         else:  # pragma: no cover - future fault kinds
             raise TypeError(f"unknown fault: {fault!r}")
 
@@ -119,6 +144,24 @@ class ChaosInjector:
         self._note(kind, fault)
         for fn in self._listeners:
             fn(fault)
+
+    # -- fault-window spans ---------------------------------------------------
+    def _window_begin(self, key: str, name: str, **args) -> None:
+        """Open a fault-window span; a same-key window still open is
+        closed first (e.g. flakiness replaced before it expired).  Spans
+        are records only — never simulator events — so windows that are
+        never healed simply stay open until the tracer finishes."""
+        tr = self.sim.tracer
+        if tr is None:
+            return
+        self._window_end(key)
+        self._windows[key] = tr.begin("fault", name, track="chaos", **args)
+
+    def _window_end(self, key: str, **args) -> None:
+        tr = self.sim.tracer
+        span = self._windows.pop(key, None)
+        if tr is not None and span is not None:
+            tr.end(span, **args)
 
     def _flaky_coin(self, _proclet, _dst) -> bool:
         if self.sim.now >= self._flaky_until:

@@ -83,6 +83,38 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one experiment under span capture; export trace + profile."""
+    import json
+
+    from .experiments.tracedrun import run_traced
+
+    run = run_traced(args.experiment, seed=args.seed)
+    digest = run.digest()
+    if args.check_determinism:
+        replay = run_traced(args.experiment, seed=args.seed)
+        if replay.digest() != digest:
+            print("DETERMINISM FAILURE: replay digest "
+                  f"{replay.digest()} != {digest}")
+            return 1
+        print(f"replay digest matches ({digest[:16]}...): "
+              "trace is deterministic")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(run.chrome(), f, indent=1)
+            f.write("\n")
+        with open(args.out + ".digest", "w") as f:
+            f.write(digest + "\n")
+        print(f"[chrome trace written to {args.out}; "
+              f"digest to {args.out}.digest]")
+    if not args.no_profile:
+        print(run.profile(top=args.top))
+    print(f"{run.span_count()} spans across "
+          f"{len(run.spans.tracers)} simulator(s)")
+    print(f"trace digest: {digest}")
+    return 0
+
+
 def _cmd_all(args) -> int:
     """Regenerate every figure and ablation; optionally write a file."""
     from .experiments import ablations, fig1_filler, fig2_imbalance
@@ -155,6 +187,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run the scenario twice and require identical "
                          "digests")
     pc.set_defaults(fn=_cmd_chaos)
+
+    pt = sub.add_parser(
+        "trace",
+        help="run an experiment with span tracing; export Chrome "
+             "trace_event JSON + virtual-time profile")
+    pt.add_argument("experiment",
+                    choices=["fig1", "fig2", "fig3", "chaos"],
+                    help="experiment to run at trace scale")
+    pt.add_argument("--out", default=None,
+                    help="write Perfetto-loadable JSON here "
+                         "(plus <out>.digest)")
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--top", type=int, default=8,
+                    help="profile lines shown per track")
+    pt.add_argument("--no-profile", action="store_true",
+                    help="skip the text profile")
+    pt.add_argument("--check-determinism", action="store_true",
+                    help="run twice and require identical trace digests")
+    pt.set_defaults(fn=_cmd_trace)
 
     pall = sub.add_parser("all", help="regenerate every figure + ablation")
     pall.add_argument("--out", default=None,

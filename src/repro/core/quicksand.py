@@ -153,6 +153,11 @@ class Quicksand:
                            dst: Optional[Machine]) -> Generator:
         if src.status is not ProcletStatus.RUNNING or src.object_count < 2:
             return None
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("split", f"split {src.name}",
+                            track=f"proclet:{src.name}", kind="memory")
         gate = self._block(src)
         yield self.sim.timeout(self.config.split_overhead)
 
@@ -165,6 +170,8 @@ class Quicksand:
         if dst is None or not dst.memory.can_fit(nbytes + new.BASE_FOOTPRINT):
             src.install(items)  # undo: nowhere to put the upper half
             self._unblock(src, gate)
+            if tr is not None:
+                tr.end(span, outcome="no-room")
             return None
         new_ref = self.runtime.spawn(new, dst, name=f"{src.name}.hi")
         if dst is not src.machine:
@@ -179,6 +186,9 @@ class Quicksand:
             "split", f"{src.name} at {split_key!r} -> {new.name}",
             moved_bytes=int(nbytes), dst=dst.name,
         )
+        if tr is not None:
+            tr.end(span, moved_bytes=int(nbytes), dst=dst.name,
+                   new=new.name)
         return split_key, new_ref
 
     def merge_memory(self, dst_ref: ProcletRef, src_ref: ProcletRef):
@@ -203,6 +213,11 @@ class Quicksand:
             return None
         if not dst_p.machine.memory.can_fit(src_p.heap_bytes):
             return None
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("merge", f"merge {src_p.name} -> {dst_p.name}",
+                            track=f"proclet:{dst_p.name}", kind="memory")
         src_gate = self._block(src_p)
         dst_gate = self._block(dst_p)
         yield self.sim.timeout(self.config.split_overhead)
@@ -223,6 +238,8 @@ class Quicksand:
             "merge", f"{src_p.name} -> {dst_p.name}",
             moved_bytes=int(nbytes),
         )
+        if tr is not None:
+            tr.end(span, moved_bytes=int(nbytes))
         return True
 
     def split_compute(self, ref: ProcletRef,
@@ -245,6 +262,11 @@ class Quicksand:
             dst = self.placement.best_for_compute(src.parallelism)
         if dst is None:
             return None  # no CPU headroom anywhere
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("split", f"split {src.name}",
+                            track=f"proclet:{src.name}", kind="compute")
         gate = self._block(src)
         yield self.sim.timeout(self.config.split_overhead)
 
@@ -272,6 +294,8 @@ class Quicksand:
             "split", f"{src.name} queue-division -> {new.name}",
             moved_tasks=n, dst=dst.name,
         )
+        if tr is not None:
+            tr.end(span, moved_tasks=n, dst=dst.name, new=new.name)
         return new_ref
 
     def merge_compute(self, dst_ref: ProcletRef, src_ref: ProcletRef):
@@ -292,6 +316,11 @@ class Quicksand:
         if (dst_p.status is not ProcletStatus.RUNNING
                 or src_p.status is not ProcletStatus.RUNNING):
             return None
+        tr = self.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("merge", f"merge {src_p.name} -> {dst_p.name}",
+                            track=f"proclet:{dst_p.name}", kind="compute")
         yield self.sim.timeout(self.config.split_overhead)
         pending = list(src_p._queue)
         src_p._queue.clear()
@@ -310,6 +339,8 @@ class Quicksand:
         self.merges += 1
         if self.metrics is not None:
             self.metrics.count("quicksand.merges.compute")
+        if tr is not None:
+            tr.end(span, moved_tasks=len(pending))
         return True
 
     # -- invocation gates used by split/merge ----------------------------------------
@@ -318,6 +349,11 @@ class Quicksand:
         """Block new invocations (reuses the migration gate mechanism)."""
         proclet._status = ProcletStatus.MIGRATING
         proclet._migration_gate = proclet._runtime.sim.event()
+        tr = proclet._runtime.sim.tracer
+        if tr is not None:
+            proclet._gate_span = tr.begin(
+                "gate", f"gated:{proclet.name}", parent=proclet._span,
+                track=f"proclet:{proclet.name}")
         return proclet._migration_gate
 
     @staticmethod
@@ -325,6 +361,10 @@ class Quicksand:
         proclet._status = ProcletStatus.RUNNING
         proclet._migration_gate = None
         gate.succeed()
+        tr = proclet._runtime.sim.tracer
+        if tr is not None:
+            tr.end(proclet._gate_span)
+            proclet._gate_span = None
 
     # -- high-level abstractions -----------------------------------------------------
     def sharded_vector(self, name: str = "vector", **kwargs):

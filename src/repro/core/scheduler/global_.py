@@ -39,12 +39,25 @@ class GlobalScheduler:
         while True:
             yield self.qs.sim.timeout(self.config.global_interval)
             self.rounds += 1
-            if self.config.global_strategy == "binpack":
-                self._rebalance_by_packing()
+            tr = self.qs.sim.tracer
+            if tr is not None:
+                # The round body is synchronous (migrations it starts are
+                # spawned, not awaited), so a region cleanly scopes it:
+                # every migration requested inside nests under the round.
+                with tr.region("sched-global", f"round#{self.rounds}",
+                               track="sched:global",
+                               strategy=self.config.global_strategy):
+                    self._round()
             else:
-                self._rebalance_compute()
-                self._rebalance_memory()
-            self._colocate_by_affinity()
+                self._round()
+
+    def _round(self) -> None:
+        if self.config.global_strategy == "binpack":
+            self._rebalance_by_packing()
+        else:
+            self._rebalance_compute()
+            self._rebalance_memory()
+        self._colocate_by_affinity()
 
     # -- binpack strategy (§3.3 / POP) -----------------------------------------
     def _rebalance_by_packing(self) -> None:

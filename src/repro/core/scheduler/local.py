@@ -132,7 +132,16 @@ class LocalScheduler:
             "sched-local", f"{reason}: {proclet.name} "
             f"{self.machine.name}->{dst.name}",
         )
-        ev = self.qs.runtime.migrate(proclet, dst)
+        tr = self.qs.sim.tracer
+        if tr is not None:
+            # region() so the migration span (whose parent is captured
+            # synchronously inside migrate()) nests under this decision.
+            with tr.region("sched-local", f"{reason}: {proclet.name}",
+                           track=f"machine:{self.machine.name}",
+                           dst=dst.name):
+                ev = self.qs.runtime.migrate(proclet, dst)
+        else:
+            ev = self.qs.runtime.migrate(proclet, dst)
         ev.subscribe(self._on_migration_done)
 
     @staticmethod

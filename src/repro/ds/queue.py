@@ -251,6 +251,11 @@ class ShardedQueue:
         src = shard.proclet
         if src.status is not ProcletStatus.RUNNING or src.length < 2:
             return None
+        tr = self.qs.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("split", f"split {src.name}",
+                            track=f"proclet:{src.name}", kind="queue")
         gate = self.qs._block(src)
         yield self.qs.sim.timeout(self.qs.config.split_overhead)
         items, nbytes = src.extract_back_half()
@@ -259,6 +264,8 @@ class ShardedQueue:
         if dst is None:
             src.install_items(items)
             self.qs._unblock(src, gate)
+            if tr is not None:
+                tr.end(span, outcome="no-room")
             return None
         # Build the new shard fully (spawn, gate, move bytes, install)
         # BEFORE publishing it to the shard list and the controller —
@@ -282,6 +289,8 @@ class ShardedQueue:
                 if src.status is not ProcletStatus.DEAD:
                     src.install_items(items)
                     self.qs._unblock(src, gate)
+                if tr is not None:
+                    tr.end(span, outcome="machine-failed")
                 return None
         new.install_items(items)
         self.qs._unblock(new, new_gate)
@@ -290,6 +299,9 @@ class ShardedQueue:
         if self.qs.shard_controller is not None:
             self.qs.shard_controller.register(new_ref, self)
         self.qs.splits += 1
+        if tr is not None:
+            tr.end(span, moved_bytes=int(nbytes), dst=dst.name,
+                   new=new.name)
         return new_ref
 
     def wants_merge(self, proclet_id: int) -> bool:
@@ -310,11 +322,18 @@ class ShardedQueue:
         if src.status is not ProcletStatus.RUNNING \
                 or all(s is shard for s in self.shards):
             return None
+        tr = self.qs.sim.tracer
+        span = None
+        if tr is not None:
+            span = tr.begin("merge", f"merge {src.name}",
+                            track=f"proclet:{src.name}", kind="queue")
         gate = self.qs._block(src)
         yield self.qs.sim.timeout(self.qs.config.split_overhead)
         if src.status is ProcletStatus.DEAD:
             # The source died while gated (machine failure); the fail
             # path already opened the gate, and the items died with it.
+            if tr is not None:
+                tr.end(span, outcome="machine-failed")
             return None
 
         def pick_survivor():
@@ -330,6 +349,8 @@ class ShardedQueue:
         def abort():
             src.install_items(items)
             self.qs._unblock(src, gate)
+            if tr is not None:
+                tr.end(span, outcome="aborted")
             return None
 
         items, nbytes = src.extract_everything()
@@ -346,6 +367,8 @@ class ShardedQueue:
                 # it keeps its items; if it died they die with it.
                 if src.status is not ProcletStatus.DEAD:
                     return abort()
+                if tr is not None:
+                    tr.end(span, outcome="machine-failed")
                 return None
             survivor = pick_survivor()  # may have died during the copy
             if survivor is None:
@@ -357,6 +380,9 @@ class ShardedQueue:
             self.qs.shard_controller.unregister(shard)
         self.qs.runtime.destroy(shard)
         self.qs.merges += 1
+        if tr is not None:
+            tr.end(span, moved_bytes=int(nbytes),
+                   survivor=survivor.name)
         return True
 
     def _ref_by_id(self, proclet_id: int):

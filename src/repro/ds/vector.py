@@ -95,6 +95,12 @@ class ShardedVector(ShardedBase):
         self._insert_shard(new)
         if self.qs.metrics is not None:
             self.qs.metrics.count("quicksand.vector.seals")
+        tr = self.qs.sim.tracer
+        if tr is not None:
+            shard_name = new.proclet.name
+            tr.instant("split", f"seal {shard_name}",
+                       track=f"proclet:{shard_name}", kind="vector-seal",
+                       machine=new.proclet.machine.name)
         # Sealing is instantaneous bookkeeping; return a completed event
         # so the controller's busy-tracking protocol still works.
         ev = self.qs.sim.event()

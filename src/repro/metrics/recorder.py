@@ -81,3 +81,30 @@ class MetricsRecorder:
         for key, value in stats.items():
             self.gauge(f"{prefix}.{key}").set(sim.now, value)
         return stats
+
+    def record_trace_stats(self, tracer=None,
+                           prefix: str = "obs.trace") -> Dict:
+        """Snapshot a :class:`repro.obs.SpanTracer`'s counters into gauges.
+
+        Records ``{prefix}.spans``, ``{prefix}.open``, ``{prefix}.dropped``
+        and a ``{prefix}.category.<cat>`` gauge per span category at the
+        current virtual time.  *tracer* defaults to the one attached to
+        this recorder's simulator; returns the raw stats dict ({} when
+        tracing is off).
+        """
+        if tracer is None:
+            tracer = getattr(self.sim, "tracer", None)
+        if tracer is None:
+            return {}
+        now = tracer.sim.now
+        stats = {
+            "spans": len(tracer.spans),
+            "open": tracer.open_count,
+            "dropped": tracer.dropped,
+        }
+        for key, value in stats.items():
+            self.gauge(f"{prefix}.{key}").set(now, value)
+        for cat, count in tracer.categories().items():
+            self.gauge(f"{prefix}.category.{cat}").set(now, count)
+            stats[f"category.{cat}"] = count
+        return stats

@@ -55,9 +55,12 @@ class Summary:
         if not xs:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         data: List[float] = sorted(xs)
+        # The arithmetic mean lies in [min, max] mathematically, but
+        # float rounding can push it one ulp outside (e.g. (3x)/3 < x);
+        # clamp so Summary orderings hold exactly.
         return cls(
             count=len(data),
-            mean=mean(data),
+            mean=min(max(mean(data), data[0]), data[-1]),
             stddev=stddev(data),
             minimum=data[0],
             p50=percentile(data, 50),

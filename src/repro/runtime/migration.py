@@ -95,8 +95,14 @@ class MigrationEngine:
     def migrate(self, proclet: Proclet, dst: Machine):
         """Start migrating *proclet* to *dst*; returns the completion
         process event (value: migration latency in seconds)."""
+        tr = self.runtime.sim.tracer
+        # The span parent must be captured *here*, synchronously: the
+        # generator body only starts on a later event-queue pop, by which
+        # time the scheduler region that requested this migration has
+        # already been exited.
+        parent = tr.current if tr is not None else None
         return self.runtime.sim.process(
-            self._migrate_proc(proclet, dst),
+            self._migrate_proc(proclet, dst, parent),
             name=f"migrate:{proclet.name}",
         )
 
@@ -110,7 +116,8 @@ class MigrationEngine:
         if dst.up and dst.incarnation == inc:
             dst.memory.release(nbytes)
 
-    def _migrate_proc(self, proclet: Proclet, dst: Machine) -> Generator:
+    def _migrate_proc(self, proclet: Proclet, dst: Machine,
+                      parent=None) -> Generator:
         sim = self.runtime.sim
         config = self.config
         src = proclet.machine
@@ -131,6 +138,21 @@ class MigrationEngine:
         # agree on one number even if accounting shifts mid-flight.
         nbytes = proclet.footprint
 
+        tr = sim.tracer
+        mig_span = phase = None
+        if tr is not None:
+            mig_span = tr.begin(
+                "migration", f"{proclet.name} {src.name}->{dst.name}",
+                parent=parent, track=f"proclet:{proclet.name}",
+                bytes=int(nbytes), path=f"{src.name}->{dst.name}")
+            proclet._gate_span = tr.begin(
+                "gate", f"gated:{proclet.name}", parent=mig_span,
+                track=f"proclet:{proclet.name}")
+            # Checkpoint phase: pause, destination reservation (with any
+            # retries), and the pre-copy control overhead.
+            phase = tr.begin("checkpoint", "checkpoint", parent=mig_span,
+                             track=f"machine:{src.name}")
+
         # Pause: detach running CPU work (threads freeze mid-computation).
         paused = list(proclet._active_cpu)
         for item in paused:
@@ -148,11 +170,17 @@ class MigrationEngine:
             gate, proclet._migration_gate = proclet._migration_gate, None
             if gate is not None and not gate.triggered:
                 gate.succeed()
+            if tr is not None:
+                tr.end(proclet._gate_span, outcome="aborted")
+                proclet._gate_span = None
 
         def _fail(msg: str, cause: Optional[BaseException] = None):
             self.migrations_failed += 1
             if proclet._status is ProcletStatus.MIGRATING:
                 _abort_to_src()
+            if tr is not None:
+                tr.end(phase, outcome="failed")
+                tr.end(mig_span, outcome="failed", error=msg)
             exc = MigrationFailed(msg)
             exc.__cause__ = cause
             return exc
@@ -194,11 +222,20 @@ class MigrationEngine:
         try:
             yield sim.timeout(config.fixed_overhead)
             self._checkpoint(proclet, dst)
+            if tr is not None:
+                tr.end(phase)
+                phase = tr.begin("transfer", "transfer", parent=mig_span,
+                                 track=f"machine:{src.name}",
+                                 bytes=int(nbytes), nic=src.name)
             xfer = self.runtime.fabric.transfer(
                 src, dst, nbytes, name=f"mig:{proclet.name}",
             )
             yield xfer
             self._checkpoint(proclet, dst)
+            if tr is not None:
+                tr.end(phase)
+                phase = tr.begin("commit", "commit", parent=mig_span,
+                                 track=f"machine:{dst.name}")
             yield sim.timeout(config.resume_overhead)
             self._checkpoint(proclet, dst)
         except MigrationFailed as exc:
@@ -235,6 +272,11 @@ class MigrationEngine:
         gate.succeed()
 
         latency = sim.now - t0
+        if tr is not None:
+            tr.end(proclet._gate_span)
+            proclet._gate_span = None
+            tr.end(phase)
+            tr.end(mig_span, latency_us=round(latency * 1e6, 1))
         self.migrations_completed += 1
         m = self.runtime.metrics
         if m is not None:

@@ -79,6 +79,13 @@ class NuRuntime:
         self.locator.place(pid, machine)
         if self.metrics is not None:
             self.metrics.count("runtime.spawns")
+        tr = self.sim.tracer
+        if tr is not None:
+            proclet._span = tr.begin(
+                "proclet", proclet._name, track=f"proclet:{proclet._name}",
+                machine=machine.name, footprint=proclet.footprint)
+            tr.instant("lifecycle", f"spawn {proclet._name}",
+                       parent=proclet._span, track=f"machine:{machine.name}")
         ref = ProcletRef(self, pid, proclet._name)
         if type(proclet).on_start is not Proclet.on_start:
             self.invoke(ref, "on_start", caller_machine=machine)
@@ -95,6 +102,13 @@ class NuRuntime:
         del self._proclets[proclet.id]
         if self.metrics is not None:
             self.metrics.count("runtime.destroys")
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant("lifecycle", f"destroy {proclet._name}",
+                       parent=proclet._span,
+                       track=f"machine:{proclet._machine.name}")
+            tr.end(proclet._gate_span, outcome="destroyed")
+            tr.end(proclet._span, outcome="destroyed")
 
     # -- lookup ----------------------------------------------------------------
     def get_proclet(self, proclet_id: int) -> Proclet:
@@ -236,6 +250,7 @@ class NuRuntime:
             return []
         lost = self.proclets_on(machine)
         exc = MachineFailed(f"machine {machine.name} failed")
+        tr = self.sim.tracer
         for proclet in lost:
             proclet._status = ProcletStatus.DEAD
             gate = proclet._migration_gate
@@ -245,6 +260,9 @@ class NuRuntime:
             self.locator.remove(proclet.id)
             del self._proclets[proclet.id]
             self._lost.add(proclet.id)
+            if tr is not None:
+                tr.end(proclet._gate_span, outcome="machine-failed")
+                tr.end(proclet._span, outcome="machine-failed")
         # Fail all in-flight work on the machine's resources (method
         # bodies and remote waiters observe MachineFailed).
         machine.cpu.sched.fail_all(exc)

@@ -458,6 +458,12 @@ class FluidScheduler:
             if it._rate > _EPS and it.started_at is None:
                 it.started_at = now
 
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("waterfill", self.name,
+                           track=f"sched:{self.name}",
+                           items=len(self._items), load=round(load, 6))
+
         self._schedule_next_completion()
         for obs in self._observers:
             obs(self)

@@ -26,6 +26,24 @@ from .rand import RandomStreams
 #: Never bother compacting heaps smaller than this many dead entries.
 _COMPACT_MIN_DEAD = 64
 
+#: Called as ``fn(sim)`` on every new Simulator (see set_tracer_factory).
+_tracer_factory = None
+
+
+def set_tracer_factory(fn) -> None:
+    """Install *fn* to be called with every newly built Simulator.
+
+    :func:`repro.obs.capture` uses this to attach a
+    :class:`~repro.obs.SpanTracer` to simulators it did not construct
+    itself (experiments build their own).  Pass ``None`` to uninstall.
+    """
+    global _tracer_factory
+    _tracer_factory = fn
+
+
+def get_tracer_factory():
+    return _tracer_factory
+
 
 class Simulator:
     """Deterministic discrete-event simulator.
@@ -52,6 +70,12 @@ class Simulator:
         # Called as fn(self) after every processed event (see add_observer).
         self._observers: list = []
         self.random = RandomStreams(seed)
+        #: Span tracer (:mod:`repro.obs`), or None when tracing is off.
+        #: Instrumentation sites read this once and skip all work when it
+        #: is None — the zero-overhead disabled path.
+        self.tracer = None
+        if _tracer_factory is not None:
+            _tracer_factory(self)
 
     # -- time -------------------------------------------------------------
     @property

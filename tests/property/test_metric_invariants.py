@@ -5,7 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import OutOfMemory
-from repro.metrics import Summary, TimeSeries, percentile
+from repro.metrics import (Counter, Gauge, Summary, TimeSeries, merge_series,
+                           percentile)
 from repro.units import MiB
 
 from ..conftest import make_qs
@@ -39,6 +40,74 @@ class TestTimeSeriesProperties:
         s = Summary.of(xs)
         assert s.minimum <= s.p50 <= s.p90 <= s.p99 <= s.maximum
         assert s.minimum <= s.mean <= s.maximum
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=2, max_size=100),
+           st.floats(0, 100), st.floats(0, 100))
+    def test_percentile_monotone_in_p(self, xs, p1, p2):
+        if p1 > p2:
+            p1, p2 = p2, p1
+        assert percentile(xs, p1) <= percentile(xs, p2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(-1e3, 1e3)),
+                    min_size=1, max_size=60),
+           st.floats(0.5, 20))
+    def test_bucket_means_bounded_by_sample_extremes(self, samples, width):
+        samples.sort(key=lambda tv: tv[0])
+        ts = TimeSeries("x")
+        for t, v in samples:
+            ts.record(t, v)
+        lo = min(0.0, min(v for _t, v in samples))
+        hi = max(0.0, max(v for _t, v in samples))
+        for _mid, m in ts.bucket_means(0.0, 101.0, width):
+            assert lo - 1e-9 <= m <= hi + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 1e3)),
+                    min_size=1, max_size=60))
+    def test_counter_rate_conserves_total(self, events):
+        events.sort(key=lambda tv: tv[0])
+        c = Counter("x")
+        for t, amount in events:
+            c.add(t, amount)
+        # rate * window length over a window covering every event must
+        # recover the total exactly.
+        assert c.rate_over(0.0, 101.0) * 101.0 == pytest.approx(
+            c.total, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(-1e3, 1e3)),
+                    min_size=1, max_size=40),
+           st.floats(1, 99))
+    def test_gauge_integral_additive_over_split(self, steps, cut):
+        steps.sort(key=lambda tv: tv[0])
+        g = Gauge("x")
+        for t, v in steps:
+            g.set(t, v)
+        whole = g.integral_over(0.0, 100.0)
+        parts = g.integral_over(0.0, cut) + g.integral_over(cut, 100.0)
+        assert whole == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.lists(st.tuples(st.floats(0, 100), st.floats(-1e3, 1e3)),
+                 max_size=30),
+        min_size=1, max_size=5))
+    def test_merge_series_preserves_samples_and_order(self, groups):
+        series = []
+        for samples in groups:
+            samples.sort(key=lambda tv: tv[0])
+            ts = TimeSeries("x")
+            for t, v in samples:
+                ts.record(t, v)
+            series.append(ts)
+        merged = merge_series(series)
+        assert len(merged) == sum(len(s) for s in series)
+        times = [t for t, _v in merged]
+        assert times == sorted(times)
+        assert sum(v for _t, v in merged) == pytest.approx(
+            sum(v for s in series for _t, v in s), rel=1e-9, abs=1e-6)
 
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.tuples(st.floats(0, 50), st.floats(-100, 100)),

@@ -1,0 +1,200 @@
+"""Property tests for the repro.obs span model.
+
+Two layers: hypothesis-driven unit properties of :class:`SpanTracer`
+itself (on a bare simulator), and structural invariants over the spans
+captured from real traced experiment runs — nesting, closure, and
+digest determinism.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.tracedrun import run_traced
+from repro.obs import Span, SpanTracer, capture, chrome_trace
+from repro.sim import Simulator
+
+# Categories whose spans are fully contained in their parent's interval
+# (synchronous phases and windows tied to the parent's lifetime).  Spans
+# for asynchronous work (a migration spawned by a scheduler round) only
+# guarantee *starting* inside the parent — they may legitimately outlive
+# the decision that triggered them.
+_CONTAINED = {"checkpoint", "transfer", "commit", "gate", "lifecycle"}
+
+
+@pytest.fixture(scope="module", params=["fig1", "chaos"])
+def traced(request):
+    return run_traced(request.param, seed=3)
+
+
+class TestSpanNesting:
+    def test_children_start_within_parent_interval(self, traced):
+        for tracer in traced.spans.tracers:
+            by_sid = {s.sid: s for s in tracer.spans}
+            for span in tracer.spans:
+                if span.parent_id is None:
+                    continue
+                parent = by_sid[span.parent_id]
+                assert parent.start <= span.start <= parent.end, (
+                    f"{span!r} starts outside parent {parent!r}")
+
+    def test_synchronous_children_contained_in_parent(self, traced):
+        for tracer in traced.spans.tracers:
+            by_sid = {s.sid: s for s in tracer.spans}
+            for span in tracer.spans:
+                if span.parent_id is None \
+                        or span.category not in _CONTAINED:
+                    continue
+                parent = by_sid[span.parent_id]
+                assert parent.start <= span.start, f"{span!r}"
+                assert span.end <= parent.end, (
+                    f"{span!r} outlives parent {parent!r}")
+
+    def test_parent_links_resolve_and_are_acyclic(self, traced):
+        for tracer in traced.spans.tracers:
+            by_sid = {s.sid: s for s in tracer.spans}
+            for span in tracer.spans:
+                seen = set()
+                cur = span
+                while cur.parent_id is not None:
+                    assert cur.parent_id in by_sid
+                    assert cur.sid not in seen, "cycle in parent links"
+                    seen.add(cur.sid)
+                    cur = by_sid[cur.parent_id]
+
+
+class TestSpanClosure:
+    def test_every_span_closes_by_end_of_run(self, traced):
+        for tracer in traced.spans.tracers:
+            assert tracer.open_count == 0
+            for span in tracer.spans:
+                assert span.closed, f"{span!r} never closed"
+                assert span.end >= span.start
+
+    def test_expected_categories_present(self, traced):
+        cats = set()
+        for tracer in traced.spans.tracers:
+            cats |= set(tracer.categories())
+        assert {"proclet", "lifecycle", "waterfill"} <= cats
+        if traced.experiment == "fig1":
+            assert {"migration", "checkpoint", "transfer", "commit",
+                    "gate", "sched-local"} <= cats
+        if traced.experiment == "chaos":
+            assert "fault" in cats
+
+
+class TestDigestDeterminism:
+    def test_same_seed_same_digest(self, traced):
+        replay = run_traced(traced.experiment, seed=traced.seed)
+        assert replay.digest() == traced.digest()
+        assert replay.span_count() == traced.span_count()
+
+    def test_cross_seed_digests_differ(self):
+        # fig1's workload is seed-insensitive by design, so the
+        # cross-seed property is pinned on chaos, where the seed drives
+        # the fault plan.
+        a = run_traced("chaos", seed=1)
+        b = run_traced("chaos", seed=2)
+        assert a.digest() != b.digest()
+
+    def test_digest_covers_args(self):
+        sim = Simulator()
+        tr = SpanTracer(sim)
+        tr.instant("x", "one", k=1)
+        d1 = tr.finish().digest()
+        sim2 = Simulator()
+        tr2 = SpanTracer(sim2)
+        tr2.instant("x", "one", k=2)
+        assert tr2.finish().digest() != d1
+
+
+class TestChromeExport:
+    def test_export_is_valid_trace_event_json(self, traced):
+        doc = traced.chrome()
+        assert isinstance(doc["traceEvents"], list)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"X", "M"}
+        for event in doc["traceEvents"]:
+            assert "pid" in event and "tid" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+        n_spans = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+        assert n_spans == traced.span_count()
+
+
+names = st.text(alphabet="abcdefg:._-", min_size=1, max_size=8)
+
+
+class TestTracerUnitProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(names, st.floats(0, 1e-3)), min_size=1,
+                    max_size=40))
+    def test_begin_end_bookkeeping(self, steps):
+        sim = Simulator()
+        tracer = SpanTracer(sim)
+        open_spans = []
+        for name, _dt in steps:
+            open_spans.append(tracer.begin("cat", name))
+        assert tracer.open_count == len(steps)
+        for span in open_spans:
+            tracer.end(span)
+            tracer.end(span)  # idempotent
+        assert tracer.open_count == 0
+        assert len(tracer) == len(steps)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 10))
+    def test_max_spans_cap_counts_drops(self, n, cap):
+        sim = Simulator()
+        tracer = SpanTracer(sim, max_spans=cap)
+        for i in range(n):
+            tracer.end(tracer.begin("c", f"s{i}"))
+        assert len(tracer) == min(n, cap)
+        assert tracer.dropped == max(0, n - cap)
+        # end(None) past the cap must be a no-op, not a crash.
+        assert tracer.finish().open_count == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(names, min_size=1, max_size=10))
+    def test_region_stack_parents_nested_spans(self, names_list):
+        sim = Simulator()
+        tracer = SpanTracer(sim)
+        parents = []
+        ctxs = []
+        for name in names_list:
+            ctx = tracer.region("r", name)
+            span = ctx.__enter__()
+            if parents:
+                assert span.parent_id == parents[-1].sid
+            else:
+                assert span.parent_id is None
+            parents.append(span)
+            ctxs.append(ctx)
+        assert tracer.current is parents[-1]
+        while ctxs:
+            ctxs.pop().__exit__(None, None, None)
+        assert tracer.current is None
+        assert tracer.open_count == 0
+
+    def test_capture_attaches_to_simulators_built_inside(self):
+        with capture() as cap:
+            s1, s2 = Simulator(seed=1), Simulator(seed=2)
+        assert [t.sim for t in cap.tracers] == [s1, s2]
+        assert s1.tracer is cap.tracers[0]
+        s3 = Simulator()
+        assert s3.tracer is None  # factory uninstalled on exit
+
+    def test_span_repr_and_duration(self):
+        span = Span(0, None, "c", "n", "t", 1.0, {})
+        assert span.duration == 0.0 and not span.closed
+        span.end = 1.5
+        assert span.duration == pytest.approx(0.5)
+        assert "c" in repr(span)
+
+    def test_chrome_trace_accepts_bare_tracer(self):
+        sim = Simulator()
+        tracer = SpanTracer(sim)
+        tracer.instant("c", "n")
+        doc = chrome_trace(tracer.finish())
+        assert sum(e["ph"] == "X" for e in doc["traceEvents"]) == 1
