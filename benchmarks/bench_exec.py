@@ -1,0 +1,95 @@
+"""EXEC benchmark: parallel fan-out + result cache acceptance checks.
+
+Pytest half: the unchanged-grid warm cache must serve >= 90% of cells
+from disk (it serves 100%), and a parallel execution of the sweep grid
+must be digest-identical to the serial one.
+
+``python benchmarks/bench_exec.py`` half: measures the sweep wall time
+at --jobs 1 vs --jobs 4 and writes ``BENCH_exec.json``.  The >= 2.5x
+speedup bar only applies on machines with >= 4 cores — a single-core
+runner records its honest (~1x) number and the assertion is skipped.
+"""
+
+import json
+import os
+import time
+
+from repro.exec import ResultCache, run_specs
+from repro.experiments.sweep_burst import build_specs, run_sweep_exec
+from repro.units import MS
+
+try:
+    from .conftest import record_report
+except ImportError:  # running as a script: python benchmarks/bench_exec.py
+    def record_report(title: str, body: str) -> None:
+        print(f"\n===== {title} =====\n{body}")
+
+_BURSTS = [0.5 * MS, 1 * MS, 2 * MS, 5 * MS]
+
+
+def test_warm_cache_skips_unchanged_grid(tmp_path, benchmark):
+    specs = build_specs(bursts=_BURSTS, periods_per_run=6)
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold = run_specs(specs, jobs=1, cache=cache)
+    assert cold.misses == len(specs)
+
+    warm = benchmark.pedantic(
+        run_specs, args=(specs,), kwargs={"jobs": 1, "cache": cache},
+        rounds=1, iterations=1,
+    )
+    assert warm.hit_rate >= 0.90
+    assert warm.misses == 0
+    assert warm.digest() == cold.digest()
+    assert warm.wall_s < cold.wall_s
+    record_report("EXEC-CACHE", (
+        f"cold: {cold.misses} misses in {cold.wall_s:.2f}s\n"
+        f"warm: {warm.hits}/{len(specs)} hits "
+        f"({warm.hit_rate:.0%}) in {warm.wall_s:.2f}s"))
+
+
+def test_parallel_sweep_digest_matches_serial(benchmark):
+    kwargs = {"bursts": _BURSTS, "periods_per_run": 6}
+    _points, serial = run_sweep_exec(jobs=1, **kwargs)
+    _points, parallel = benchmark.pedantic(
+        run_sweep_exec, kwargs=dict(kwargs, jobs=2), rounds=1, iterations=1,
+    )
+    assert parallel.digest() == serial.digest()
+    assert parallel.kernel_totals() == serial.kernel_totals()
+    record_report("EXEC-EQUIV", (
+        f"serial digest   {serial.digest()[:16]}…\n"
+        f"parallel digest {parallel.digest()[:16]}… (jobs=2, identical)"))
+
+
+def main() -> None:  # pragma: no cover - measurement entry point
+    cores = os.cpu_count() or 1
+    kwargs = {"periods_per_run": 12}
+    out = {"cores": cores, "bursts_ms": [b * 1e3 for b in _BURSTS]}
+    for jobs in (1, 4):
+        best = float("inf")
+        digest = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            _points, rep = run_sweep_exec(jobs=jobs, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+            digest = rep.digest()
+        out[f"jobs{jobs}_wall_s"] = round(best, 3)
+        out[f"jobs{jobs}_digest"] = digest
+        print(f"jobs={jobs}: {best:.2f}s  digest={digest[:16]}…")
+    out["speedup"] = round(out["jobs1_wall_s"] / out["jobs4_wall_s"], 2)
+    assert out["jobs1_digest"] == out["jobs4_digest"], \
+        "parallel sweep diverged from serial"
+    print(f"speedup: {out['speedup']}x on {cores} cores")
+    if cores >= 4:
+        assert out["speedup"] >= 2.5, \
+            f"expected >=2.5x on {cores} cores, got {out['speedup']}x"
+    else:
+        print("(<4 cores: speedup bar not applicable, recording as-is)")
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_exec.json")
+    with open(os.path.abspath(path), "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(path)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

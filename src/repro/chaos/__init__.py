@@ -30,10 +30,11 @@ from .faults import (
     PartitionHeal,
     RandomFaultPlan,
 )
+from .differential import differential_task
 from .injector import ChaosInjector
 from .invariants import InvariantChecker, InvariantViolation
 from .oracle import Divergence, compare, max_min_rates, reference_rates
-from .scenario import ChaosConfig, ChaosResult, run_chaos
+from .scenario import ChaosConfig, ChaosResult, run_chaos, run_chaos_summary
 
 __all__ = [
     "ChaosConfig",
@@ -55,7 +56,9 @@ __all__ = [
     "PartitionHeal",
     "RandomFaultPlan",
     "compare",
+    "differential_task",
     "max_min_rates",
     "reference_rates",
     "run_chaos",
+    "run_chaos_summary",
 ]

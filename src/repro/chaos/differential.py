@@ -1,0 +1,82 @@
+"""Differential fluid-engine checking as a fan-out-able task.
+
+The incremental fluid engine (:mod:`repro.sim.fluid`) is driven through
+a seeded random mutation sequence — submissions, cancellations, demand
+and priority changes, capacity dips, detach/attach, virtual-time
+advances — and compared against the brute-force water-fill oracle
+(:mod:`repro.chaos.oracle`) after **every** mutation.
+
+The same :func:`differential_task` backs both the pytest suite
+(``tests/chaos/test_differential.py``) and the parallel CI sweep
+(``python -m repro chaos --differential 0-219 --jobs N``): it is a
+module-level, picklable function of its seed, so ``repro.exec`` can
+spread the 220-seed campaign across worker processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..sim import FluidScheduler, Simulator
+from .oracle import compare
+
+
+def mutate(rng, sim, sched, items) -> str:
+    """Apply one random mutation; returns a short op label."""
+    op = rng.randrange(8)
+    live = [it for it in items if it.active]
+    if op == 0 or not live:
+        items.append(sched.submit(
+            work=rng.uniform(0.05, 5.0),
+            demand=rng.uniform(0.1, 4.0),
+            priority=rng.randrange(3)))
+        return "submit"
+    if op == 1:
+        sched.cancel(rng.choice(live))
+        return "cancel"
+    if op == 2:
+        # Includes deep dips: a chaos fault can degrade a NIC to a
+        # sliver of nominal, or machine failure zeroes core capacity.
+        sched.set_capacity(rng.choice([0.001, 0.5, 1.0, 2.0, 4.0, 8.0]))
+        return "capacity"
+    if op == 3:
+        sched.set_demand(rng.choice(live), rng.uniform(0.05, 4.0))
+        return "demand"
+    if op == 4:
+        sched.set_priority(rng.choice(live), rng.randrange(3))
+        return "priority"
+    if op == 5:
+        it = rng.choice(live)
+        sched.detach(it)
+        sched.attach(it)
+        return "detach-attach"
+    if op == 6:
+        items.append(sched.hold(demand=rng.uniform(0.1, 2.0),
+                                priority=rng.randrange(3)))
+        return "hold"
+    sim.run(until=sim.now + rng.uniform(0.001, 0.5))
+    return "advance"
+
+
+def differential_task(seed: int, steps: int = 25) -> Dict:
+    """Drive one seeded mutation sequence; compare after every step.
+
+    Returns plain data: the per-step op labels and any divergences
+    (stringified), so a clean run is ``{"divergences": []}`` and the
+    result hashes canonically for the exec cache.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    sched = FluidScheduler(sim, capacity=rng.choice([1.0, 2.0, 4.0]),
+                           name=f"diff{seed}")
+    items: List = []
+    ops: List[str] = []
+    divergences: List[str] = []
+    for step in range(steps):
+        label = mutate(rng, sim, sched, items)
+        ops.append(label)
+        for d in compare(sched):
+            divergences.append(f"step {step} ({label}): {d}")
+    return {"seed": int(seed), "steps": int(steps), "ops": ops,
+            "divergences": divergences}

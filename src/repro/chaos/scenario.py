@@ -182,6 +182,28 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
     )
 
 
+def run_chaos_summary(**config_kwargs) -> dict:
+    """One chaos run as a picklable, cacheable task (see ``repro.exec``).
+
+    Accepts :class:`ChaosConfig` fields as keyword arguments and returns
+    plain data — the replay digest plus the headline counters — so a
+    seed grid can fan out across worker processes and the parent can
+    diff digests without shipping trace lines around.
+    """
+    config = ChaosConfig(**config_kwargs)
+    result = run_chaos(config)
+    return {
+        "seed": config.seed,
+        "digest": result.digest(),
+        "injected": result.injected,
+        "machines_crashed": result.machines_crashed,
+        "tasks_done": result.tasks_done,
+        "lost_calls": result.lost_calls,
+        "invariant_checks": result.invariant_checks,
+        "migrations": result.migrations,
+    }
+
+
 class _Workload:
     """The mixed workload a chaos scenario runs underneath the faults."""
 

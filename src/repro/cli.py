@@ -52,20 +52,56 @@ def _cmd_fig3(args) -> int:
 def _cmd_ablations(args) -> int:
     from .experiments import ablations
 
-    print(ablations.report_all())
+    results, report = ablations.run_ablation_grid(
+        jobs=args.jobs, cache=args.cache_dir)
+    print(ablations.format_report(results))
+    print(report.summary())
+    return _check_budget(report.wall_s, args.budget)
+
+
+def _parse_seeds(text: str):
+    """Parse ``"1-5"`` / ``"0,3,7"`` / ``"4"`` into a seed list."""
+    seeds = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part[1:]:  # allow negative singletons
+            lo, hi = part.split("-", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def _check_budget(wall_s: float, budget) -> int:
+    """Enforce ``--budget SECONDS`` on the exec phase (0 = off)."""
+    if budget and wall_s > budget:
+        print(f"WALL-CLOCK BUDGET EXCEEDED: {wall_s:.1f}s > "
+              f"{budget:.1f}s budget")
+        return 1
     return 0
 
 
 def _cmd_sweep(args) -> int:
     from .experiments import sweep_burst
+    from .exec import results_digest
 
-    print(sweep_burst.report(sweep_burst.run_sweep()))
-    return 0
+    points, report = sweep_burst.run_sweep_exec(
+        seed=args.seed, jobs=args.jobs, cache=args.cache_dir)
+    print(sweep_burst.report(points))
+    print(report.summary())
+    print(f"sweep digest: {results_digest(report.values())}")
+    return _check_budget(report.wall_s, args.budget)
 
 
 def _cmd_chaos(args) -> int:
-    """Run one seeded chaos scenario (optionally twice, diffing digests)."""
+    """Seeded chaos scenarios: one detailed run, a parallel seed grid,
+    or the parallel differential-oracle campaign."""
     from .chaos import ChaosConfig, run_chaos
+
+    if args.differential:
+        return _chaos_differential(args)
+    if args.seeds:
+        return _chaos_grid(args)
 
     config = ChaosConfig(seed=args.seed, machines=args.machines,
                          duration=args.duration, oracle=args.oracle,
@@ -81,6 +117,66 @@ def _cmd_chaos(args) -> int:
         print(f"replay digest matches ({result.digest()[:16]}...): "
               "run is deterministic")
     return 0
+
+
+def _chaos_grid(args) -> int:
+    """Fan a grid of chaos seeds out through repro.exec."""
+    from .chaos import run_chaos_summary
+    from .exec import RunSpec, run_specs
+
+    seeds = _parse_seeds(args.seeds)
+    specs = [
+        RunSpec(run_chaos_summary,
+                {"seed": seed, "machines": args.machines,
+                 "duration": args.duration, "oracle": args.oracle,
+                 "invariant_stride": args.stride},
+                name=f"chaos.seed={seed}")
+        for seed in seeds
+    ]
+    report = run_specs(specs, jobs=args.jobs, cache=args.cache_dir)
+    for row in report.values():
+        print(f"seed {row['seed']:>4d}: digest {row['digest'][:16]}... "
+              f"faults={row['injected']} crashes={row['machines_crashed']} "
+              f"tasks={row['tasks_done']} checks={row['invariant_checks']}")
+    print(report.summary())
+    wall = report.wall_s
+    if args.check_determinism:
+        # Replay the whole grid fresh (no cache — a cached replay would
+        # compare a result with itself) and require identical digests.
+        replay = run_specs(specs, jobs=args.jobs, cache=None)
+        wall += replay.wall_s
+        if replay.digest() != report.digest():
+            for a, b in zip(report.values(), replay.values()):
+                if a != b:
+                    print(f"DETERMINISM FAILURE: seed {a['seed']} "
+                          f"digest {a['digest']} != {b['digest']}")
+            return 1
+        print(f"replay grid digest matches ({report.digest()[:16]}...): "
+              f"{len(seeds)} seeds deterministic")
+    return _check_budget(wall, args.budget)
+
+
+def _chaos_differential(args) -> int:
+    """Fan the fluid-vs-oracle differential seeds out through repro.exec."""
+    from .chaos import differential_task
+    from .exec import RunSpec, run_specs
+
+    seeds = _parse_seeds(args.differential)
+    specs = [RunSpec(differential_task, {"seed": seed, "steps": args.steps},
+                     name=f"chaos.diff.seed={seed}")
+             for seed in seeds]
+    report = run_specs(specs, jobs=args.jobs, cache=args.cache_dir)
+    bad = [row for row in report.values() if row["divergences"]]
+    for row in bad:
+        print(f"seed {row['seed']}: ENGINE/ORACLE DIVERGENCE")
+        for line in row["divergences"]:
+            print(f"  {line}")
+    print(report.summary())
+    print(f"differential: {len(seeds) - len(bad)}/{len(seeds)} seeds "
+          f"agree with the oracle")
+    if bad:
+        return 1
+    return _check_budget(report.wall_s, args.budget)
 
 
 def _cmd_trace(args) -> int:
@@ -139,6 +235,20 @@ def _cmd_all(args) -> int:
     return 0
 
 
+def _add_exec_args(parser) -> None:
+    """Shared repro.exec knobs for commands that fan out run grids."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                             "(1 = serial; results are identical)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache; re-runs "
+                             "of unchanged grids are served from disk")
+    parser.add_argument("--budget", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="fail if the run-execution phase exceeds "
+                             "this wall-clock budget (0 = no budget)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,16 +276,27 @@ def build_parser() -> argparse.ArgumentParser:
     p3.set_defaults(fn=_cmd_fig3)
 
     pa = sub.add_parser("ablations", help="run all DESIGN.md ablations")
+    _add_exec_args(pa)
     pa.set_defaults(fn=_cmd_ablations)
 
     ps = sub.add_parser("sweep",
                         help="EXT-SWEEP: fungibility gain vs burst period")
+    ps.add_argument("--seed", type=int, default=0)
+    _add_exec_args(ps)
     ps.set_defaults(fn=_cmd_sweep)
 
     pc = sub.add_parser(
         "chaos",
         help="seeded fault-injection run with invariant checking")
     pc.add_argument("--seed", type=int, default=42)
+    pc.add_argument("--seeds", default=None,
+                    help="seed grid (e.g. '1-5' or '1,3,9') fanned out "
+                         "through repro.exec")
+    pc.add_argument("--differential", default=None, metavar="SEEDS",
+                    help="run the fluid-vs-oracle differential campaign "
+                         "over this seed range instead of full scenarios")
+    pc.add_argument("--steps", type=int, default=25,
+                    help="mutations per differential seed")
     pc.add_argument("--machines", type=int, default=4)
     pc.add_argument("--duration", type=float, default=2.0)
     pc.add_argument("--oracle", action="store_true",
@@ -186,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--check-determinism", action="store_true",
                     help="run the scenario twice and require identical "
                          "digests")
+    _add_exec_args(pc)
     pc.set_defaults(fn=_cmd_chaos)
 
     pt = sub.add_parser(

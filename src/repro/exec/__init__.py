@@ -1,0 +1,47 @@
+"""Run-execution engine: parallel fan-out with a deterministic cache.
+
+Every experiment in this repository is a deterministic function of its
+arguments, which makes independent runs embarrassingly parallel *and*
+perfectly cacheable.  This package provides the scaling substrate the
+sweep/ablation/chaos campaigns run on:
+
+* :class:`RunSpec` — one unit of work: a module-level callable plus
+  canonicalizable kwargs, content-hashed via :meth:`RunSpec.digest`;
+* :func:`derive_seed` — named-stream seed derivation, so per-run seeds
+  are independent of grid order and worker assignment;
+* :class:`ResultCache` — content-addressed on-disk results keyed by
+  spec hash + repro package version;
+* :func:`run_specs` — serial or ``ProcessPoolExecutor`` execution with
+  results returned in spec order (serial and parallel runs are
+  byte-identical; see :func:`results_digest`).
+
+See ``docs/parallel.md`` for the hashing scheme, cache layout, and
+determinism guarantees.
+"""
+
+from .cache import ResultCache
+from .engine import (
+    KERNEL_KEYS,
+    ExecReport,
+    RunResult,
+    results_digest,
+    run_specs,
+)
+from .spec import RunSpec, canonical, derive_seed
+
+#: Version string folded into every spec digest.  Tracks the package
+#: version: a release bump invalidates every cached result wholesale.
+from .. import __version__ as CACHE_VERSION
+
+__all__ = [
+    "CACHE_VERSION",
+    "ExecReport",
+    "KERNEL_KEYS",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "canonical",
+    "derive_seed",
+    "results_digest",
+    "run_specs",
+]

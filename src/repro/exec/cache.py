@@ -1,0 +1,130 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` where *key* is a
+:meth:`RunSpec.digest` — a sha256 over the callable's import path, the
+canonicalized kwargs, and the repro package version.  Entries are
+self-describing pickles (``{"key", "version", "result"}``) written
+atomically (temp file + ``os.replace``), so a crashed run never leaves
+a half-written entry that later poisons a sweep.
+
+A warm cache turns an unchanged sweep grid into pure reads: repeated
+experiment campaigns and CI re-runs skip every already-computed point
+(the acceptance bar is ≥ 90% skipped work; an unchanged grid hits 100%).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Tuple
+
+_MISS = object()
+
+
+class ResultCache:
+    """Pickle-per-entry cache rooted at *root* (created on demand)."""
+
+    def __init__(self, root: str, version: Optional[str] = None):
+        if version is None:
+            from . import CACHE_VERSION
+
+            version = CACHE_VERSION
+        self.root = str(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ---------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # -- read ---------------------------------------------------------------
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(True, result)`` on a hit, ``(False, None)`` on a miss.
+
+        A corrupt, unreadable, or version-mismatched entry counts as a
+        miss (and is left in place for post-mortem; a fresh ``put`` will
+        overwrite it).
+        """
+        try:
+            with open(self.path_for(key), "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        if (not isinstance(payload, dict) or payload.get("key") != key
+                or payload.get("version") != self.version
+                or "result" not in payload):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, payload["result"]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        hit, value = self.lookup(key)
+        return value if hit else default
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    # -- write --------------------------------------------------------------
+    def put(self, key: str, result: Any) -> str:
+        """Store *result* under *key* atomically; returns the path."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"key": key, "version": self.version, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-" + key[:8])
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance --------------------------------------------------------
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry under the root; returns the count."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fname in filenames:
+                if fname.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(dirpath, fname))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for f in filenames if f.endswith(".pkl"))
+        return count
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.root!r} v={self.version} "
+                f"hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,133 @@
+"""Run specifications: hashable descriptions of one deterministic run.
+
+A :class:`RunSpec` names a module-level callable plus keyword arguments.
+Because every simulation in this repository is a pure function of its
+arguments (PR 1–3 made runs bit-deterministic per seed), a spec fully
+determines its result — which makes results content-addressable: the
+spec's :meth:`~RunSpec.digest` keys the on-disk cache
+(:mod:`repro.exec.cache`) and lets serial and parallel execution be
+compared byte-for-byte (:func:`repro.exec.engine.results_digest`).
+
+Seed derivation follows the :class:`repro.sim.RandomStreams` idiom:
+per-run seeds come from a *named stream* off the master seed, so a
+run's seed depends only on its name — never on how many runs came
+before it or on which worker executes it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+
+def derive_seed(master_seed: int, stream: str) -> int:
+    """Deterministic per-run seed for the named *stream*.
+
+    Same mixing as :class:`repro.sim.RandomStreams`: the derived seed is
+    a pure function of (master seed, stream name), so a grid of runs
+    gets stable seeds regardless of grid order or execution order.
+    """
+    return (int(master_seed) * 0x9E3779B1 + zlib.crc32(stream.encode())) \
+        & 0xFFFFFFFFFFFFFFFF
+
+
+def canonical(obj: Any) -> str:
+    """Stable, bit-faithful serialization of *obj* for hashing.
+
+    Floats render with ``repr`` (round-trip exact), dict keys sort, and
+    dataclass instances serialize field-by-field — so two runs produce
+    the same string iff their results are value-identical.  Types
+    without a stable form raise ``TypeError`` rather than silently
+    hashing a memory address.
+    """
+    if obj is None or obj is True or obj is False:
+        return repr(obj)
+    if isinstance(obj, (int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(canonical(x) for x in obj)
+        return f"[{inner}]" if isinstance(obj, list) else f"({inner})"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(canonical(x) for x in obj)) + "}"
+    if isinstance(obj, dict):
+        items = ",".join(
+            f"{canonical(k)}:{canonical(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: canonical(kv[0]))
+        )
+        return "{" + items + "}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({fields})"
+    raise TypeError(
+        f"no canonical form for {type(obj).__name__!r} "
+        f"({obj!r}); use plain data or a dataclass"
+    )
+
+
+def _fn_path(fn: Callable) -> str:
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise TypeError(
+            f"RunSpec needs a module-level callable (got {fn!r}); "
+            "closures and lambdas cannot be executed in worker processes"
+        )
+    return f"{module}:{qualname}"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent, cacheable unit of work.
+
+    ``fn`` must be a module-level callable (importable by name, so
+    worker processes can unpickle it); ``kwargs`` must be canonicalizable
+    (see :func:`canonical`) and picklable.  ``name`` labels the run in
+    reports and is part of the identity: two specs with the same fn and
+    kwargs but different names hash differently, which is what lets a
+    grid contain repeated points (e.g. determinism replays).
+    """
+
+    fn: Callable
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self):
+        _fn_path(self.fn)  # validate eagerly, not in the worker
+
+    @property
+    def fn_path(self) -> str:
+        return _fn_path(self.fn)
+
+    def call(self) -> Any:
+        return self.fn(**self.kwargs)
+
+    def digest(self, version: str = None) -> str:
+        """Content hash of the spec: fn identity + canonical kwargs +
+        the repro package version (results are invalidated wholesale on
+        release bumps — the cheap, safe approximation of "the code
+        changed")."""
+        if version is None:
+            from . import CACHE_VERSION
+
+            version = CACHE_VERSION
+        h = hashlib.sha256()
+        h.update(self.fn_path.encode())
+        h.update(b"|")
+        h.update(canonical(self.kwargs).encode())
+        h.update(b"|")
+        h.update(self.name.encode())
+        h.update(b"|")
+        h.update(version.encode())
+        return h.hexdigest()
+
+    def __repr__(self) -> str:
+        label = self.name or self.fn_path
+        return f"<RunSpec {label} {canonical(self.kwargs)[:60]}>"

@@ -1,0 +1,61 @@
+"""Small module-level tasks for exercising the execution engine.
+
+These exist so tests and kernel benchmarks can fan out *cheap* runs
+without dragging a full experiment behind every grid point.  They are
+importable by name (worker processes unpickle them by reference) and,
+like every run in this repository, bit-deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import FluidScheduler, RandomStreams, Simulator
+
+
+def rng_walk_task(seed: int = 0, steps: int = 64) -> Dict[str, float]:
+    """Pure-Python deterministic walk (no simulator): fast enough for
+    property tests that compare hundreds of serial/parallel grids."""
+    rng = RandomStreams(seed).stream("exec.walk")
+    total = 0.0
+    peak = 0.0
+    for _ in range(int(steps)):
+        total += rng.uniform(-1.0, 1.0)
+        peak = max(peak, abs(total))
+    return {"seed": int(seed), "steps": int(steps),
+            "total": total, "peak": peak}
+
+
+def kernel_churn_task(seed: int = 0, rounds: int = 30,
+                      batch: int = 16) -> Dict[str, float]:
+    """A miniature fluid-scheduler churn run (the bench_kernel access
+    pattern at small scale): submit/cancel bursts against a standing
+    population, returning enough state to digest the trajectory."""
+    sim = Simulator(seed=seed)
+    sched = FluidScheduler(sim, 16.0, name="exec-churn")
+    rng = sim.random.stream("exec.churn")
+
+    def driver():
+        live = []
+        for i in range(64):
+            sched.hold(demand=0.5, priority=1, name=f"bg{i}")
+        for _ in range(int(rounds)):
+            for i in range(int(batch)):
+                live.append(sched.submit(work=1.0 + rng.random(),
+                                         demand=1.0, priority=0,
+                                         name="burst"))
+            while len(live) > batch // 2:
+                item = live.pop(0)
+                if item.active:
+                    sched.cancel(item)
+            yield sim.timeout(0.001)
+
+    sim.process(driver())
+    sim.run(until=0.2)
+    return {
+        "seed": int(seed),
+        "events": sim.processed_events,
+        "cancellations": sim.cancellations,
+        "load": sched.load,
+        "now": sim.now,
+    }

@@ -299,42 +299,77 @@ def run_two_level_ablation(duration: float = 0.2) -> TwoLevelAblationResult:
     )
 
 
-# -- report --------------------------------------------------------------------------
+# -- grid + report --------------------------------------------------------------------
 
-def report_all() -> str:  # pragma: no cover - exercised via benches
+#: The ablation grid, in report order.  Each entry is an independent
+#: module-level callable — exactly the shape ``repro.exec`` fans out.
+ABLATIONS = (
+    ("prefetch", run_prefetch_ablation),
+    ("granularity", run_migration_granularity),
+    ("split", run_split_ablation),
+    ("hybrid", run_hybrid_ablation),
+    ("twolevel", run_two_level_ablation),
+)
+
+
+def build_specs() -> list:
+    from ..exec import RunSpec
+
+    return [RunSpec(fn, {}, name=f"ablation.{name}")
+            for name, fn in ABLATIONS]
+
+
+def run_ablation_grid(jobs: int = 1, cache=None):
+    """Run every ablation through the execution engine.
+
+    Returns ``(results_by_name, ExecReport)`` with results in the
+    registry's (stable) order."""
+    from ..exec import run_specs
+
+    report = run_specs(build_specs(), jobs=jobs, cache=cache)
+    names = [name for name, _fn in ABLATIONS]
+    return dict(zip(names, report.values())), report
+
+
+def format_report(results) -> str:
+    pf = results["prefetch"]
+    gran = results["granularity"]
+    sp = results["split"]
+    hy = results["hybrid"]
+    tl = results["twolevel"]
     lines = ["ABLATIONS"]
-    pf = run_prefetch_ablation()
     lines.append(
         f"ABL-PREFETCH  with={pf.with_prefetch_s:.2f}s "
         f"without={pf.without_prefetch_s:.2f}s "
         f"slowdown={pf.slowdown:.2f}x"
     )
-    gran = run_migration_granularity()
     lines.append("ABL-GRAN  migration latency vs heap size:")
     lines.append(fmt_table(
         ["heap", "latency [ms]"],
         [(f"{int(b / KiB)} KiB", f"{t * 1e3:.3f}") for b, t in gran],
     ))
-    sp = run_split_ablation()
     lines.append(
         f"ABL-SPLIT  with-split shard={sp.with_split_max_shard_bytes / MiB:.0f} MiB "
         f"mig={sp.with_split_migration_s * 1e3:.2f} ms; "
         f"without shard={sp.without_split_shard_bytes / MiB:.0f} MiB "
         f"mig={sp.without_split_migration_s * 1e3:.2f} ms"
     )
-    hy = run_hybrid_ablation()
     lines.append(
         f"ABL-COUPLED  hybrid placed {hy.hybrid_placed}, "
         f"stranded {hy.hybrid_failed}; decoupled placed "
         f"{hy.decoupled_placed}, stranded {hy.decoupled_failed}"
     )
-    tl = run_two_level_ablation()
     lines.append(
         f"ABL-TWOLEVEL  local={tl.local_goodput_cores:.2f} cores, "
         f"global-only={tl.global_only_goodput_cores:.2f}, "
         f"none={tl.none_goodput_cores:.2f}"
     )
     return "\n".join(lines)
+
+
+def report_all(jobs: int = 1, cache=None) -> str:  # pragma: no cover
+    results, _report = run_ablation_grid(jobs=jobs, cache=cache)
+    return format_report(results)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -24,10 +24,15 @@ def fmt_table(headers: Sequence[str], rows: List[Sequence]) -> str:
 def fmt_series(series: List[Tuple[float, float]], t_scale: float = 1e3,
                t_unit: str = "ms", v_fmt: str = "{:.2f}",
                max_rows: int = 50) -> str:
-    """Render a (time, value) series, downsampling long ones."""
+    """Render a (time, value) series, downsampling long ones.
+
+    Downsampling keeps both endpoints: the last sample is where a trace
+    settles (the equilibrium tail), and truncating it silently misled
+    printed traces for any series longer than *max_rows*.
+    """
     if len(series) > max_rows:
-        step = len(series) / max_rows
-        series = [series[int(i * step)] for i in range(max_rows)]
+        step = (len(series) - 1) / (max_rows - 1)
+        series = [series[round(i * step)] for i in range(max_rows)]
     return "\n".join(
         f"  t={t * t_scale:9.3f} {t_unit}  {v_fmt.format(v)}"
         for t, v in series

@@ -15,13 +15,15 @@ mechanism implies but never plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..apps import FillerApp, PhasedApp
 from ..cluster import ClusterSpec, MachineSpec
 from ..core import Quicksand, QuicksandConfig
 from ..units import GiB, MS, US
 from .common import fmt_table
+
+DEFAULT_BURSTS = (0.5 * MS, 1 * MS, 2 * MS, 5 * MS, 10 * MS, 20 * MS)
 
 
 @dataclass
@@ -63,19 +65,81 @@ def _run_one(burst: float, fungible: bool, duration: float,
     return filler.goodput_cores(t0, qs.sim.now), filler.total_migrations()
 
 
-def run_sweep(bursts: List[float] = (0.5 * MS, 1 * MS, 2 * MS, 5 * MS,
-                                     10 * MS, 20 * MS),
-              periods_per_run: int = 12, seed: int = 0) -> List[SweepPoint]:
-    """Measure fungible vs static goodput at each burst period."""
-    points = []
+def run_cell(burst: float, fungible: bool, duration: float,
+             seed: int) -> Dict[str, float]:
+    """One grid cell as a picklable, cacheable task (see ``repro.exec``).
+
+    Returns plain data so results hash canonically and survive the
+    worker boundary; :func:`run_sweep` reassembles them into
+    :class:`SweepPoint` rows."""
+    goodput, migrations = _run_one(burst, fungible, duration, seed)
+    return {"burst": burst, "fungible": bool(fungible),
+            "goodput_cores": goodput, "migrations": migrations}
+
+
+def build_specs(bursts: List[float] = DEFAULT_BURSTS,
+                periods_per_run: int = 12, seed: int = 0) -> list:
+    """RunSpecs for the sweep grid, two cells (fungible/static) per
+    burst period.  Per-cell seeds are derived from named streams, so a
+    cell's seed depends only on its coordinates — not on grid order or
+    on which worker executes it."""
+    from ..exec import RunSpec, derive_seed
+
+    specs = []
     for burst in bursts:
         duration = max(40 * MS, periods_per_run * 2 * burst)
-        fungible, migrations = _run_one(burst, True, duration, seed)
-        static, _zero = _run_one(burst, False, duration, seed)
-        points.append(SweepPoint(burst=burst,
-                                 fungible_goodput_cores=fungible,
-                                 static_goodput_cores=static,
-                                 migrations=migrations))
+        for fungible in (True, False):
+            mode = "fungible" if fungible else "static"
+            stream = f"sweep.burst={burst!r}.{mode}"
+            specs.append(RunSpec(run_cell, {
+                "burst": burst,
+                "fungible": fungible,
+                "duration": duration,
+                "seed": derive_seed(seed, stream),
+            }, name=stream))
+    return specs
+
+
+def points_from_cells(cells: List[Dict[str, float]]) -> List[SweepPoint]:
+    """Pair up fungible/static cells (in grid order) into SweepPoints."""
+    by_key = {(c["burst"], c["fungible"]): c for c in cells}
+    bursts = []
+    for cell in cells:
+        if cell["burst"] not in bursts:
+            bursts.append(cell["burst"])
+    return [
+        SweepPoint(
+            burst=burst,
+            fungible_goodput_cores=by_key[(burst, True)]["goodput_cores"],
+            static_goodput_cores=by_key[(burst, False)]["goodput_cores"],
+            migrations=by_key[(burst, True)]["migrations"],
+        )
+        for burst in bursts
+    ]
+
+
+def run_sweep_exec(bursts: List[float] = DEFAULT_BURSTS,
+                   periods_per_run: int = 12, seed: int = 0,
+                   jobs: int = 1,
+                   cache=None) -> Tuple[List[SweepPoint], "ExecReport"]:
+    """The sweep through the execution engine: returns (points, report).
+
+    ``jobs=1`` with no cache is bit-identical to the historical serial
+    path; ``jobs=N`` fans cells out across worker processes; a cache
+    makes re-runs of an unchanged grid pure disk reads."""
+    from ..exec import run_specs
+
+    specs = build_specs(bursts, periods_per_run, seed)
+    report = run_specs(specs, jobs=jobs, cache=cache)
+    return points_from_cells(report.values()), report
+
+
+def run_sweep(bursts: List[float] = DEFAULT_BURSTS,
+              periods_per_run: int = 12, seed: int = 0, jobs: int = 1,
+              cache=None) -> List[SweepPoint]:
+    """Measure fungible vs static goodput at each burst period."""
+    points, _report = run_sweep_exec(bursts, periods_per_run, seed,
+                                     jobs=jobs, cache=cache)
     return points
 
 

@@ -82,6 +82,32 @@ class MetricsRecorder:
             self.gauge(f"{prefix}.{key}").set(sim.now, value)
         return stats
 
+    def record_exec_stats(self, report, prefix: str = "exec") -> Dict:
+        """Fold a :class:`repro.exec.ExecReport` into this recorder.
+
+        Per-worker kernel counters are merged **deterministically**: the
+        per-run deltas are summed in spec order (never last-writer-wins,
+        which would depend on completion order), then recorded as
+        ``{prefix}.kernel.<counter>`` gauges alongside
+        ``{prefix}.runs`` / ``hits`` / ``misses`` / ``jobs`` /
+        ``wall_s``.  Returns the recorded stats dict.
+        """
+        now = self.sim.now
+        stats = {
+            "runs": len(report.results),
+            "hits": report.hits,
+            "misses": report.misses,
+            "jobs": report.jobs,
+            "wall_s": report.wall_s,
+        }
+        for key in sorted(stats):
+            self.gauge(f"{prefix}.{key}").set(now, stats[key])
+        merged = report.kernel_totals()
+        for key in sorted(merged):
+            self.gauge(f"{prefix}.kernel.{key}").set(now, merged[key])
+            stats[f"kernel.{key}"] = merged[key]
+        return stats
+
     def record_trace_stats(self, tracer=None,
                            prefix: str = "obs.trace") -> Dict:
         """Snapshot a :class:`repro.obs.SpanTracer`'s counters into gauges.

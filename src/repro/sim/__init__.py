@@ -11,7 +11,7 @@ from .events import AllOf, AnyOf, Event, Timeout
 from .fluid import FluidItem, FluidScheduler
 from .process import Process
 from .rand import RandomStreams
-from .simulator import Simulator
+from .simulator import Simulator, kernel_totals
 
 __all__ = [
     "AllOf",
@@ -28,4 +28,5 @@ __all__ = [
     "StopSimulation",
     "Timeout",
     "UnboundResource",
+    "kernel_totals",
 ]

@@ -29,6 +29,22 @@ _COMPACT_MIN_DEAD = 64
 #: Called as ``fn(sim)`` on every new Simulator (see set_tracer_factory).
 _tracer_factory = None
 
+#: Process-wide kernel totals, accumulated in bulk whenever a
+#: Simulator's run()/step() exits.  ``repro.exec`` workers snapshot
+#: these around a task to report how much simulation the task did
+#: without hooking any experiment's internals.
+_KERNEL_TOTALS = {
+    "events": 0,
+    "cancellations": 0,
+    "tombstones_popped": 0,
+    "compactions": 0,
+}
+
+
+def kernel_totals() -> Dict[str, int]:
+    """A copy of the process-wide kernel counters (see ``repro.exec``)."""
+    return dict(_KERNEL_TOTALS)
+
 
 def set_tracer_factory(fn) -> None:
     """Install *fn* to be called with every newly built Simulator.
@@ -56,12 +72,19 @@ class Simulator:
         Master seed for the simulator's named RNG streams.
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_processed_events", "_dead",
+                 "_cancellations", "_tombstones_popped", "_compactions",
+                 "_running", "_pending_flushes", "_observers", "random",
+                 "tracer", "__weakref__")
+
     def __init__(self, start: float = 0.0, seed: int = 0):
         self._now = float(start)
         self._queue: list = []  # (time, priority, seq, event)
         self._seq = 0
         self._processed_events = 0
         self._dead = 0          # tombstoned (cancelled) entries still queued
+        self._cancellations = 0
+        self._tombstones_popped = 0
         self._compactions = 0
         self._running = False   # True while run()/step() is executing
         # Fluid schedulers with a coalesced reassignment pending; always
@@ -104,12 +127,24 @@ class Simulator:
         """Number of heap compaction passes performed so far."""
         return self._compactions
 
+    @property
+    def cancellations(self) -> int:
+        """Total events tombstoned via :meth:`cancel` so far."""
+        return self._cancellations
+
+    @property
+    def tombstones_popped(self) -> int:
+        """Dead entries discarded by the dispatch loop (vs compaction)."""
+        return self._tombstones_popped
+
     def heap_stats(self) -> Dict[str, int]:
         """Event-heap diagnostics as a dict (see ``repro.metrics``)."""
         return {
             "queued": self.queued,
             "dead_entries": self._dead,
             "compactions": self._compactions,
+            "cancellations": self._cancellations,
+            "tombstones_popped": self._tombstones_popped,
         }
 
     # -- observation --------------------------------------------------------
@@ -189,13 +224,20 @@ class Simulator:
         when popped (or reclaimed by compaction).  Returns True if the
         event was live and is now cancelled, False if it was never
         scheduled, already processed, or already cancelled.
+
+        Compaction is batched: a cancel issued from inside the dispatch
+        loop (the common case — schedulers retiring superseded timers
+        from event callbacks) only marks the tombstone; the loop itself
+        compacts at most once per dispatch when dead entries outnumber
+        live ones.  Cancels issued outside a run compact eagerly.
         """
         if (event._value is PENDING or event._processed
                 or event._cancelled):
             return False
         event._cancelled = True
         self._dead += 1
-        if (self._dead > _COMPACT_MIN_DEAD
+        self._cancellations += 1
+        if (not self._running and self._dead > _COMPACT_MIN_DEAD
                 and self._dead * 2 > len(self._queue)):
             self._compact()
         return True
@@ -234,9 +276,13 @@ class Simulator:
                     if not queue:
                         return
                     continue
+                if (self._dead > _COMPACT_MIN_DEAD
+                        and self._dead * 2 > len(queue)):
+                    self._compact()
                 when, _prio, _seq, event = heapq.heappop(queue)
                 if event._cancelled:
                     self._dead -= 1
+                    self._tombstones_popped += 1
                     if not queue:
                         return
                     continue
@@ -247,6 +293,7 @@ class Simulator:
                 if self._observers:
                     for fn in self._observers:
                         fn(self)
+                _KERNEL_TOTALS["events"] += 1
                 return
         finally:
             self._running = False
@@ -257,6 +304,7 @@ class Simulator:
         while queue and queue[0][3]._cancelled:
             heapq.heappop(queue)
             self._dead -= 1
+            self._tombstones_popped += 1
         return queue[0][0] if queue else float("inf")
 
     def run(self, until: Optional[float] = None,
@@ -275,40 +323,47 @@ class Simulator:
         if until is not None and until < self._now:
             raise ValueError(f"run(until={until}) is in the past")
 
-        stop = {"hit": False}
+        stop_hit = []
         if until_event is not None:
-            def _stop(_ev):
-                stop["hit"] = True
-
-            until_event.subscribe(_stop)
+            until_event.subscribe(stop_hit.append)
 
         # Hot loop: local aliases avoid repeated attribute lookups on the
         # schedule->pop->_process path, and tombstoned entries are
         # discarded without touching the clock.  Pending coalesced
         # reassignments are drained whenever time is about to advance
         # (or the queue drains), so they are observationally equivalent
-        # to eager per-mutation recomputation.
+        # to eager per-mutation recomputation.  Dead entries accumulated
+        # by in-loop cancels are reclaimed here, at most one batched
+        # compaction per dispatch, once they outnumber live entries.
         queue = self._queue
         pop = heapq.heappop
         flushes = self._pending_flushes
         observers = self._observers
+        horizon = float("inf") if until is None else until
+        events_before = self._processed_events
+        cancels_before = self._cancellations
+        compactions_before = self._compactions
+        popped = 0
         self._running = True
         try:
             while queue or flushes:
-                if stop["hit"]:
+                if stop_hit:
                     break
                 if flushes and (not queue or queue[0][0] > self._now):
                     self._drain_flushes()
                     continue  # flushing may have enqueued new events
                 if not queue:
                     break
-                head = queue[0]
-                if until is not None and head[0] > until:
+                if (self._dead > _COMPACT_MIN_DEAD
+                        and self._dead * 2 > len(queue)):
+                    self._compact()
+                if queue[0][0] > horizon:
                     break
                 entry = pop(queue)
                 event = entry[3]
                 if event._cancelled:
                     self._dead -= 1
+                    popped += 1
                     continue
                 self._now = entry[0]
                 self._processed_events += 1
@@ -320,8 +375,14 @@ class Simulator:
             return exc.value
         finally:
             self._running = False
+            self._tombstones_popped += popped
+            totals = _KERNEL_TOTALS
+            totals["events"] += self._processed_events - events_before
+            totals["cancellations"] += self._cancellations - cancels_before
+            totals["tombstones_popped"] += popped
+            totals["compactions"] += self._compactions - compactions_before
 
-        if until is not None and not stop["hit"]:
+        if until is not None and not stop_hit:
             self._now = max(self._now, until)
 
         if until_event is not None and until_event.triggered:

@@ -16,7 +16,12 @@ import random
 
 import pytest
 
-from repro.chaos import compare, max_min_rates, reference_rates
+from repro.chaos import (
+    compare,
+    differential_task,
+    max_min_rates,
+    reference_rates,
+)
 from repro.sim import FluidScheduler, Simulator
 
 
@@ -48,57 +53,15 @@ class TestOracleBasics:
         assert rates == pytest.approx([1.0, 1.5, 1.5])
 
 
-def mutate(rng, sim, sched, items):
-    """Apply one random mutation; returns a short op label."""
-    op = rng.randrange(8)
-    live = [it for it in items if it.active]
-    if op == 0 or not live:
-        items.append(sched.submit(
-            work=rng.uniform(0.05, 5.0),
-            demand=rng.uniform(0.1, 4.0),
-            priority=rng.randrange(3)))
-        return "submit"
-    if op == 1:
-        sched.cancel(rng.choice(live))
-        return "cancel"
-    if op == 2:
-        # Includes deep dips: a chaos fault can degrade a NIC to a
-        # sliver of nominal, or machine failure zeroes core capacity.
-        sched.set_capacity(rng.choice([0.001, 0.5, 1.0, 2.0, 4.0, 8.0]))
-        return "capacity"
-    if op == 3:
-        sched.set_demand(rng.choice(live), rng.uniform(0.05, 4.0))
-        return "demand"
-    if op == 4:
-        sched.set_priority(rng.choice(live), rng.randrange(3))
-        return "priority"
-    if op == 5:
-        it = rng.choice(live)
-        sched.detach(it)
-        sched.attach(it)
-        return "detach-attach"
-    if op == 6:
-        items.append(sched.hold(demand=rng.uniform(0.1, 2.0),
-                                priority=rng.randrange(3)))
-        return "hold"
-    sim.run(until=sim.now + rng.uniform(0.001, 0.5))
-    return "advance"
-
-
 # 220 randomized mutation sequences, ~25 mutations each: every one of
 # the ~5500 intermediate engine states must match the oracle exactly.
+# The mutation driver lives in repro.chaos.differential so the same
+# campaign can fan out across processes (repro chaos --differential).
 @pytest.mark.parametrize("seed", range(220))
 def test_engine_matches_oracle_after_every_mutation(seed):
-    rng = random.Random(seed)
-    sim = Simulator()
-    sched = FluidScheduler(sim, capacity=rng.choice([1.0, 2.0, 4.0]),
-                           name=f"diff{seed}")
-    items = []
-    for step in range(25):
-        label = mutate(rng, sim, sched, items)
-        divergences = compare(sched)
-        assert not divergences, (
-            f"seed {seed} step {step} ({label}): {divergences}")
+    result = differential_task(seed, steps=25)
+    assert result["divergences"] == [], f"seed {seed}: {result}"
+    assert len(result["ops"]) == 25
 
 
 @pytest.mark.parametrize("seed", range(20))

@@ -1,0 +1,135 @@
+"""Hit / miss / invalidation behaviour of the on-disk result cache."""
+
+import os
+import pickle
+
+from repro.exec import ResultCache, RunSpec
+from repro.exec.tasks import rng_walk_task
+
+
+def _cache(tmp_path, version="0.1.0"):
+    return ResultCache(str(tmp_path / "cache"), version=version)
+
+
+class TestHitMiss:
+    def test_cold_lookup_is_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        hit, value = cache.lookup("ab" * 32)
+        assert not hit and value is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 0}
+
+    def test_put_then_get_round_trips(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"x": [1, 2.5], "y": "ok"})
+        hit, value = cache.lookup(key)
+        assert hit and value == {"x": [1, 2.5], "y": "ok"}
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_get_returns_default_on_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cache.get("00" * 32, default="fallback") == "fallback"
+
+    def test_sharded_layout(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = "f0" + "a" * 62
+        path = cache.put(key, 1)
+        assert path == os.path.join(cache.root, "f0", key + ".pkl")
+        assert os.path.exists(path)
+
+    def test_no_stray_temp_files_after_put(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = "ee" * 32
+        cache.put(key, list(range(100)))
+        shard = os.path.dirname(cache.path_for(key))
+        assert [f for f in os.listdir(shard) if f.startswith(".tmp-")] == []
+
+
+class TestInvalidation:
+    def test_version_mismatch_is_miss(self, tmp_path):
+        old = _cache(tmp_path, version="0.1.0")
+        key = "11" * 32
+        old.put(key, "stale")
+        new = ResultCache(old.root, version="0.2.0")
+        hit, _ = new.lookup(key)
+        assert not hit
+        # A fresh put under the new version overwrites the stale entry.
+        new.put(key, "fresh")
+        assert new.get(key) == "fresh"
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = "22" * 32
+        cache.put(key, "good")
+        with open(cache.path_for(key), "wb") as fh:
+            fh.write(b"\x00not a pickle")
+        hit, _ = cache.lookup(key)
+        assert not hit
+
+    def test_key_mismatch_inside_payload_is_miss(self, tmp_path):
+        # An entry copied/renamed to the wrong address must not serve.
+        cache = _cache(tmp_path)
+        key, other = "33" * 32, "44" * 32
+        cache.put(key, "value")
+        os.makedirs(os.path.dirname(cache.path_for(other)), exist_ok=True)
+        os.rename(cache.path_for(key), cache.path_for(other))
+        hit, _ = cache.lookup(other)
+        assert not hit
+
+    def test_truncated_entry_is_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = "55" * 32
+        cache.put(key, list(range(1000)))
+        path = cache.path_for(key)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        hit, _ = cache.lookup(key)
+        assert not hit
+
+    def test_non_dict_payload_is_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = "66" * 32
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(["raw", "list"], fh)
+        hit, _ = cache.lookup(key)
+        assert not hit
+
+    def test_invalidate_drops_one_entry(self, tmp_path):
+        cache = _cache(tmp_path)
+        a, b = "77" * 32, "88" * 32
+        cache.put(a, 1)
+        cache.put(b, 2)
+        assert cache.invalidate(a)
+        assert not cache.invalidate(a)  # already gone
+        assert a not in cache and b in cache
+
+    def test_clear_empties_cache(self, tmp_path):
+        cache = _cache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:02d}" * 32, i)
+        assert cache.clear() == 5
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+
+class TestSpecAddressing:
+    def test_spec_digest_addresses_cache(self, tmp_path):
+        cache = _cache(tmp_path)
+        spec = RunSpec(rng_walk_task, {"seed": 9, "steps": 8})
+        key = spec.digest(cache.version)
+        cache.put(key, spec.call())
+        assert cache.get(key) == spec.call()
+
+    def test_different_kwargs_never_collide(self, tmp_path):
+        cache = _cache(tmp_path)
+        a = RunSpec(rng_walk_task, {"seed": 1, "steps": 8})
+        b = RunSpec(rng_walk_task, {"seed": 2, "steps": 8})
+        cache.put(a.digest(cache.version), "A")
+        cache.put(b.digest(cache.version), "B")
+        assert cache.get(a.digest(cache.version)) == "A"
+        assert cache.get(b.digest(cache.version)) == "B"

@@ -1,0 +1,142 @@
+"""run_specs: ordering, serial/parallel equivalence, cache integration."""
+
+import pytest
+
+from repro.exec import ResultCache, RunSpec, results_digest, run_specs
+from repro.exec.engine import KERNEL_KEYS
+from repro.exec.tasks import kernel_churn_task, rng_walk_task
+
+
+def _grid(n=5, steps=16):
+    return [RunSpec(rng_walk_task, {"seed": 100 + i, "steps": steps},
+                    name=f"grid.{i}") for i in range(n)]
+
+
+def _boom_task():  # pragma: no cover - body raises immediately
+    raise RuntimeError("boom")
+
+
+class TestOrdering:
+    def test_results_in_spec_order(self):
+        specs = _grid(6)
+        report = run_specs(specs, jobs=1)
+        assert [r.index for r in report.results] == list(range(6))
+        assert [r.spec.name for r in report.results] == \
+            [s.name for s in specs]
+        assert [v["seed"] for v in report.values()] == \
+            [100 + i for i in range(6)]
+
+    def test_parallel_results_in_spec_order(self):
+        specs = _grid(6)
+        report = run_specs(specs, jobs=2)
+        assert [r.index for r in report.results] == list(range(6))
+        assert [v["seed"] for v in report.values()] == \
+            [100 + i for i in range(6)]
+
+
+class TestEquivalence:
+    def test_serial_matches_parallel_bit_for_bit(self):
+        specs = _grid(5)
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        assert serial.values() == parallel.values()
+        assert serial.digest() == parallel.digest()
+
+    def test_digest_is_stable_across_executions(self):
+        specs = _grid(3)
+        assert run_specs(specs, jobs=1).digest() == \
+            run_specs(specs, jobs=1).digest()
+
+    def test_digest_sensitive_to_values(self):
+        a = run_specs(_grid(3), jobs=1)
+        b = run_specs([RunSpec(rng_walk_task, {"seed": 999, "steps": 16})],
+                      jobs=1)
+        assert a.digest() != b.digest()
+
+    def test_results_digest_order_sensitive(self):
+        values = run_specs(_grid(3), jobs=1).values()
+        assert results_digest(values) != results_digest(values[::-1])
+
+    def test_sim_task_serial_matches_parallel(self):
+        specs = [RunSpec(kernel_churn_task, {"seed": i, "rounds": 6},
+                         name=f"churn.{i}") for i in range(3)]
+        assert run_specs(specs, jobs=1).digest() == \
+            run_specs(specs, jobs=2).digest()
+
+
+class TestCacheIntegration:
+    def test_warm_cache_skips_everything(self, tmp_path):
+        specs = _grid(6)
+        cache = ResultCache(str(tmp_path / "c"))
+        cold = run_specs(specs, jobs=2, cache=cache)
+        assert (cold.hits, cold.misses) == (0, 6)
+        warm = run_specs(specs, jobs=2, cache=cache)
+        assert (warm.hits, warm.misses) == (6, 0)
+        assert warm.hit_rate == 1.0
+        assert warm.digest() == cold.digest()
+        assert all(r.cached for r in warm.results)
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        specs = _grid(3)
+        root = str(tmp_path / "by-path")
+        run_specs(specs, jobs=1, cache=root)
+        warm = run_specs(specs, jobs=1, cache=root)
+        assert (warm.hits, warm.misses) == (3, 0)
+
+    def test_partial_warmth_only_runs_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        run_specs(_grid(3), jobs=1, cache=cache)
+        report = run_specs(_grid(5), jobs=1, cache=cache)
+        assert (report.hits, report.misses) == (3, 2)
+        # The mixed run still matches a fully-fresh run of the same grid.
+        assert report.digest() == run_specs(_grid(5), jobs=1).digest()
+
+    def test_invalidation_forces_recompute(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        specs = _grid(3)
+        run_specs(specs, jobs=1, cache=cache)
+        cache.invalidate(specs[1].digest(cache.version))
+        report = run_specs(specs, jobs=1, cache=cache)
+        assert (report.hits, report.misses) == (2, 1)
+        assert not report.results[1].cached
+
+    def test_kernel_counters_zero_for_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        specs = [RunSpec(kernel_churn_task, {"seed": 5, "rounds": 6})]
+        cold = run_specs(specs, jobs=1, cache=cache)
+        assert cold.kernel_totals()["events"] > 0
+        warm = run_specs(specs, jobs=1, cache=cache)
+        assert warm.kernel_totals() == {k: 0 for k in KERNEL_KEYS}
+
+
+class TestFailures:
+    def test_serial_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_specs([RunSpec(_boom_task, {})], jobs=1)
+
+    def test_parallel_exception_propagates(self):
+        specs = _grid(2) + [RunSpec(_boom_task, {}, name="boom")]
+        with pytest.raises(RuntimeError, match="boom"):
+            run_specs(specs, jobs=2)
+
+    def test_failed_run_writes_nothing_to_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        specs = _grid(2) + [RunSpec(_boom_task, {}, name="boom")]
+        with pytest.raises(RuntimeError):
+            run_specs(specs, jobs=1, cache=cache)
+        assert len(cache) == 0
+
+
+class TestReport:
+    def test_summary_mentions_cache_and_kernel(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        specs = [RunSpec(kernel_churn_task, {"seed": 2, "rounds": 6})]
+        report = run_specs(specs, jobs=1, cache=cache)
+        text = report.summary()
+        assert "1 runs" in text and "0 hit / 1 miss" in text
+        assert "kernel events=" in text
+
+    def test_wall_time_recorded(self):
+        report = run_specs(_grid(2), jobs=1)
+        assert report.wall_s > 0
+        assert all(r.wall_s >= 0 for r in report.results)

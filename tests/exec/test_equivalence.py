@@ -1,0 +1,49 @@
+"""Property test: any grid is --jobs invariant (satellite 3).
+
+Hypothesis draws small random sweep grids and checks that serial and
+parallel execution return identical result lists and identical sha256
+digests.  Pool spin-up is the dominant cost, so examples are few and
+the per-run work is a cheap pure-RNG walk; the simulator-backed
+equivalence case lives in ``test_engine.py``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import RunSpec, derive_seed, results_digest, run_specs
+from repro.exec.tasks import rng_walk_task
+
+grids = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2 ** 31 - 1),
+              st.integers(min_value=1, max_value=24)),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+def _specs(grid):
+    return [RunSpec(rng_walk_task,
+                    {"seed": derive_seed(seed, f"prop.{i}"), "steps": steps},
+                    name=f"prop.{i}")
+            for i, (seed, steps) in enumerate(grid)]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=grids)
+def test_serial_and_parallel_grids_are_identical(grid):
+    specs = _specs(grid)
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=2)
+    assert serial.values() == parallel.values()
+    assert serial.digest() == parallel.digest()
+    assert results_digest(serial.values()) == \
+        results_digest(parallel.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(grid=grids)
+def test_digest_depends_only_on_values(grid):
+    """Re-running the same grid serially twice is digest-stable."""
+    specs = _specs(grid)
+    assert run_specs(specs, jobs=1).digest() == \
+        run_specs(specs, jobs=1).digest()

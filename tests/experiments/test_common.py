@@ -39,6 +39,22 @@ class TestFmtSeries:
         out = fmt_series([(0.5, 1.0)], t_unit="s", t_scale=1.0)
         assert "s" in out
 
+    def test_downsampling_keeps_first_and_last_sample(self):
+        # Regression: int(i * step) never reached the final index, so
+        # long traces printed without their equilibrium tail.
+        series = [(i * 0.001, float(i)) for i in range(1000)]
+        lines = fmt_series(series, max_rows=20, v_fmt="{:.0f}").splitlines()
+        assert len(lines) == 20
+        assert lines[0].endswith(" 0")
+        assert lines[-1].endswith(" 999")
+
+    def test_downsampled_rows_strictly_increase(self):
+        series = [(i * 0.001, float(i)) for i in range(51)]
+        lines = fmt_series(series, max_rows=50, v_fmt="{:.0f}").splitlines()
+        values = [float(line.split()[-1]) for line in lines]
+        assert values == sorted(set(values))
+        assert values[-1] == 50.0
+
 
 class TestEquilibriumLatency:
     def test_immediate_equilibrium(self):

@@ -46,6 +46,46 @@ class TestRecorder:
         assert rec.has("a") and not rec.has("zz")
 
 
+class TestRecordExecStats:
+    def test_gauges_merged_in_spec_order(self, rec):
+        from repro.exec import RunSpec, run_specs
+        from repro.exec.tasks import kernel_churn_task
+
+        specs = [RunSpec(kernel_churn_task, {"seed": i, "rounds": 5},
+                         name=f"cell.{i}") for i in range(3)]
+        report = run_specs(specs, jobs=2)
+        stats = rec.record_exec_stats(report)
+        assert stats["runs"] == 3
+        assert stats["misses"] == 3 and stats["hits"] == 0
+        # Kernel gauges hold the spec-order sum of per-run deltas,
+        # never a single worker's last write.
+        totals = report.kernel_totals()
+        assert totals["events"] > 0
+        assert rec.gauge("exec.kernel.events").level == totals["events"]
+        assert stats["kernel.events"] == totals["events"]
+        assert rec.gauge("exec.runs").level == 3
+
+    def test_merge_is_deterministic_across_jobs(self, rec):
+        from repro.exec import RunSpec, run_specs
+        from repro.exec.tasks import kernel_churn_task
+
+        specs = [RunSpec(kernel_churn_task, {"seed": 7 + i, "rounds": 5},
+                         name=f"cell.{i}") for i in range(3)]
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        assert serial.kernel_totals() == parallel.kernel_totals()
+
+    def test_custom_prefix(self, rec):
+        from repro.exec import RunSpec, run_specs
+        from repro.exec.tasks import rng_walk_task
+
+        report = run_specs([RunSpec(rng_walk_task, {"seed": 1})], jobs=1)
+        rec.record_exec_stats(report, prefix="sweep")
+        assert rec.has("sweep.runs")
+        assert rec.has("sweep.kernel.events")
+        assert not rec.has("exec.runs")
+
+
 class TestDashboard:
     def test_snapshot_renders(self):
         from repro.metrics import machine_rows, snapshot

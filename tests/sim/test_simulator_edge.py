@@ -177,7 +177,8 @@ class TestHeapCompaction:
         sim.timeout(1.0)
         sim.cancel(sim.timeout(2.0))
         stats = sim.heap_stats()
-        assert stats == {"queued": 1, "dead_entries": 1, "compactions": 0}
+        assert stats == {"queued": 1, "dead_entries": 1, "compactions": 0,
+                         "cancellations": 1, "tombstones_popped": 0}
 
     def test_repr_shows_heap_diagnostics(self, sim):
         sim.cancel(sim.timeout(1.0))
