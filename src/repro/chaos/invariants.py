@@ -65,6 +65,8 @@ class InvariantChecker:
         self.oracle_comparisons = 0
         # id(gate) -> first time the gate was seen closed.
         self._gate_seen: Dict[int, float] = {}
+        # pid -> highest incarnation ever observed (must never regress).
+        self._incarnation_seen: Dict[int, int] = {}
         self._attached_to = None
 
     # -- observer plumbing ---------------------------------------------------
@@ -92,6 +94,7 @@ class InvariantChecker:
         self._check_memory_conservation()
         self._check_fluid()
         self._check_gates()
+        self._check_recovery()
 
     def _fail(self, what: str) -> None:
         raise InvariantViolation(
@@ -142,15 +145,18 @@ class InvariantChecker:
                 continue
             resident = sum(proclets[pid].footprint
                            for pid in loc.proclets_on(m))
+            recovery = self.runtime.recovery
+            ckpt = recovery.reserved_on(m) if recovery is not None else 0.0
             expected = (resident + m.memory.ballast
-                        + migration.inflight_reserved_on(m))
+                        + migration.inflight_reserved_on(m) + ckpt)
             if not math.isclose(m.memory.used, expected,
                                 rel_tol=1e-9, abs_tol=_MEM_EPS):
                 self._fail(
                     f"{m.name} DRAM ledger {m.memory.used:.1f} B != "
                     f"{expected:.1f} B (residents {resident:.1f} + ballast "
                     f"{m.memory.ballast:.1f} + in-flight "
-                    f"{migration.inflight_reserved_on(m):.1f})")
+                    f"{migration.inflight_reserved_on(m):.1f} + "
+                    f"checkpoints {ckpt:.1f})")
             if m.memory.used > m.memory.capacity + _MEM_EPS:
                 self._fail(f"{m.name} DRAM oversubscribed: "
                            f"{m.memory.used:.0f} / "
@@ -232,6 +238,43 @@ class InvariantChecker:
         for key in list(self._gate_seen):
             if key not in live_gates:
                 del self._gate_seen[key]
+
+    def _check_recovery(self) -> None:
+        """Fault-tolerance invariants (cheap no-ops without repro.ft).
+
+        5. **No double incarnation** — an id is never simultaneously
+           live and lost, and its incarnation number never regresses.
+        6. **Checkpoint byte conservation** — the per-machine view of
+           checkpoint reservations sums exactly to the manager's
+           authoritative held-bytes ledger.
+        7. **Recovered-state convergence** — every completed restore
+           matched its expected state (the manager records divergences).
+        """
+        runtime = self.runtime
+        for pid in runtime.lost_proclets():
+            if pid in runtime._proclets:
+                self._fail(f"proclet #{pid} is both live and lost "
+                           f"(double incarnation)")
+        for pid, inc in runtime._incarnations.items():
+            seen = self._incarnation_seen.get(pid, 0)
+            if inc < seen:
+                self._fail(f"proclet #{pid} incarnation regressed "
+                           f"{seen} -> {inc}")
+            self._incarnation_seen[pid] = inc
+        recovery = runtime.recovery
+        if recovery is None:
+            return
+        per_machine = sum(recovery.reserved_on(m)
+                          for m in runtime.cluster.machines)
+        if not math.isclose(per_machine, recovery.checkpoint_bytes_held,
+                            rel_tol=1e-9, abs_tol=_MEM_EPS):
+            self._fail(
+                f"checkpoint bytes not conserved: machines hold "
+                f"{per_machine:.1f} B, manager ledger says "
+                f"{recovery.checkpoint_bytes_held:.1f} B")
+        if recovery.convergence_errors:
+            self._fail("recovered state diverged: "
+                       + "; ".join(recovery.convergence_errors))
 
     def __repr__(self) -> str:
         return (f"<InvariantChecker checks={self.checks} "

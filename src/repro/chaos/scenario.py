@@ -8,11 +8,19 @@ and runs to the horizon.  The whole run is a pure function of the
 config — same seed, same everything — which :meth:`ChaosResult.digest`
 makes checkable: the CLI runs a scenario twice and diffs the digests.
 
-Application-level fault tolerance is deliberately simple (the paper's
-position: redo logic is the app's policy): a healer listener re-spawns
-pool members and memory shards a short delay after each crash, and the
-drivers treat :class:`ProcletLost` on a stale ref as a signal to drop
-the shard and move on.
+Fault tolerance comes in two flavors, selected by
+``ChaosConfig.recovery_policy``:
+
+* ``None`` (default) — application-level redo: a healer listener
+  re-spawns pool members and memory shards a short delay after each
+  crash, and the drivers treat :class:`ProcletLost` on a stale ref as a
+  signal to count the loss and move on.  Bit-identical to runs
+  predating :mod:`repro.ft`.
+* a :class:`~repro.ft.RecoveryPolicy` value (``"none"``/``"restart"``/
+  ``"checkpoint"``/``"replicate"``/``"lineage"``) — runtime-level
+  recovery: the app healer is disabled, shards are protected under the
+  chosen policy (pool members under RESTART), and the recovery manager
+  re-places lost proclets while blocked calls transparently retry.
 """
 
 from __future__ import annotations
@@ -53,6 +61,10 @@ class ChaosConfig:
     crash_probability: float = 0.6
     migration_flakiness: float = 0.25
     heal_delay: float = 0.02
+    # Runtime-level recovery: None = legacy app-level healing, else a
+    # RecoveryPolicy value for the shards ("none" runs the detector and
+    # registry but recovers nothing — lost proclets stay lost).
+    recovery_policy: Optional[str] = None
     # Checking.
     oracle: bool = False
     invariant_stride: int = 1
@@ -76,6 +88,13 @@ class ChaosResult:
     migrations: int
     migrations_retried: int
     migrations_failed: int
+    # Runtime-level recovery outcomes (all zero under the legacy path).
+    suspects: int = 0
+    confirms: int = 0
+    recoveries: int = 0
+    failed_recoveries: int = 0
+    call_retries: int = 0
+    sheds: int = 0
     trace_lines: List[str] = field(repr=False, default_factory=list)
     counters: List[str] = field(repr=False, default_factory=list)
 
@@ -110,6 +129,14 @@ class ChaosResult:
             f"{self.migrations_failed} failed)",
             f"  invariant checks  : {self.invariant_checks} "
             f"(oracle comparisons: {self.oracle_comparisons})",
+        ]
+        if self.config.recovery_policy is not None:
+            lines.append(
+                f"  recovery ({self.config.recovery_policy}): "
+                f"{self.recoveries} recovered of {self.confirms} confirmed "
+                f"deaths ({self.failed_recoveries} failed, {self.sheds} "
+                f"shed, {self.call_retries} calls retried)")
+        lines += [
             f"  digest            : {self.digest()}",
             "fault schedule:",
             self.schedule.describe(),
@@ -153,7 +180,9 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
         if isinstance(fault, MachineCrash):
             sim.call_in(config.heal_delay, state.heal)
 
-    injector.on_fault(after_fault)
+    if config.recovery_policy is None:
+        # Legacy path: the application heals itself after crashes.
+        injector.on_fault(after_fault)
     injector.start()
 
     qs.run(until=config.duration)
@@ -164,6 +193,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
     counters = [f"{name}={c.total:g}"
                 for name, c in sorted(metrics._counters.items())]
 
+    recovery = qs.recovery
     return ChaosResult(
         config=config,
         schedule=schedule,
@@ -177,6 +207,13 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
         migrations=qs.runtime.migration.migrations_completed,
         migrations_retried=qs.runtime.migration.migrations_retried,
         migrations_failed=qs.runtime.migration.migrations_failed,
+        suspects=recovery.detector.suspects if recovery else 0,
+        confirms=recovery.detector.confirms if recovery else 0,
+        recoveries=sum(recovery.recoveries.values()) if recovery else 0,
+        failed_recoveries=recovery.failed_recoveries if recovery else 0,
+        call_retries=int(qs.metrics.counter("ft.call_retries").total)
+        if recovery else 0,
+        sheds=recovery.sheds if recovery else 0,
         trace_lines=[str(e) for e in qs.runtime.tracer.events],
         counters=counters,
     )
@@ -201,6 +238,10 @@ def run_chaos_summary(**config_kwargs) -> dict:
         "lost_calls": result.lost_calls,
         "invariant_checks": result.invariant_checks,
         "migrations": result.migrations,
+        "confirms": result.confirms,
+        "recoveries": result.recoveries,
+        "failed_recoveries": result.failed_recoveries,
+        "call_retries": result.call_retries,
     }
 
 
@@ -213,16 +254,48 @@ class _Workload:
         self.pool = None
         self.shards: List = []
         self.lost_calls = 0
+        self.lineage = None
         self._next_key = 0
 
     def start(self) -> None:
+        from ..ft import LineageLog, RecoveryPolicy
+
+        policy = (RecoveryPolicy(self.config.recovery_policy)
+                  if self.config.recovery_policy is not None else None)
+        manager = self.qs.enable_recovery() if policy is not None else None
+        if policy is RecoveryPolicy.LINEAGE:
+            self.lineage = LineageLog()
         self.pool = self.qs.compute_pool(
             name="chaos-pool", parallelism=self.config.parallelism,
             initial_members=self.config.pool_members)
         for i in range(self.config.shards):
             self.shards.append(self.qs.spawn_memory(name=f"shard{i}"))
+        if manager is not None:
+            # Shards carry the grid's policy; pool members are stateless
+            # workers, so RESTART is always the right recovery for them.
+            # (Split-derived proclets are unprotected: recovering only
+            # registered state is itself a policy worth chaos-testing.)
+            for ref in self.shards:
+                manager.protect(ref, policy, lineage=self.lineage)
+            member_policy = (RecoveryPolicy.RESTART
+                             if policy is not RecoveryPolicy.NONE
+                             else RecoveryPolicy.NONE)
+            for ref in self.pool.members:
+                manager.protect(ref, member_policy,
+                                factory=self._make_member)
         self.qs.sim.process(self._task_driver(), name="chaos-tasks")
         self.qs.sim.process(self._churn_driver(), name="chaos-churn")
+
+    def _make_member(self):
+        """RESTART factory for a pool member: a fresh worker wired back
+        into the pool's completion accounting."""
+        from ..core.computeproclet import ComputeProclet
+
+        proclet = ComputeProclet(parallelism=self.pool.parallelism,
+                                 source=self.pool.source)
+        proclet.on_task_done = self.pool._on_task_done
+        proclet.shard_owner = self.pool
+        return proclet
 
     # -- fault recovery ------------------------------------------------------
     def heal(self) -> None:
@@ -264,7 +337,11 @@ class _Workload:
             key = f"k{self._next_key}"
             self._next_key += 1
             nbytes = rng.uniform(0.5, 1.5) * self.config.shard_item_bytes
-            ev = self.qs.runtime.invoke(ref, "mp_put", key, nbytes)
+            if self.lineage is not None:
+                ev = self.lineage.recording_put(self.qs.runtime, ref,
+                                                key, nbytes)
+            else:
+                ev = self.qs.runtime.invoke(ref, "mp_put", key, nbytes)
             ev.subscribe(self._on_churn_done)
 
     def _on_churn_done(self, event) -> None:

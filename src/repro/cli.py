@@ -105,7 +105,8 @@ def _cmd_chaos(args) -> int:
 
     config = ChaosConfig(seed=args.seed, machines=args.machines,
                          duration=args.duration, oracle=args.oracle,
-                         invariant_stride=args.stride)
+                         invariant_stride=args.stride,
+                         recovery_policy=args.recovery)
     result = run_chaos(config)
     print(result.report())
     if args.check_determinism:
@@ -129,8 +130,10 @@ def _chaos_grid(args) -> int:
         RunSpec(run_chaos_summary,
                 {"seed": seed, "machines": args.machines,
                  "duration": args.duration, "oracle": args.oracle,
-                 "invariant_stride": args.stride},
-                name=f"chaos.seed={seed}")
+                 "invariant_stride": args.stride,
+                 "recovery_policy": args.recovery},
+                name=f"chaos.seed={seed}"
+                     + (f".rec={args.recovery}" if args.recovery else ""))
         for seed in seeds
     ]
     report = run_specs(specs, jobs=args.jobs, cache=args.cache_dir)
@@ -177,6 +180,23 @@ def _chaos_differential(args) -> int:
     if bad:
         return 1
     return _check_budget(report.wall_s, args.budget)
+
+
+def _cmd_recovery(args) -> int:
+    """Kill-mid-run experiment: full policy ablation or one policy."""
+    from .experiments import recovery
+
+    if args.policy is not None:
+        rows = [recovery.run_recovery_fig2(policy=None, kill_at=None,
+                                           seed=args.seed),
+                recovery.run_recovery_fig2(policy=args.policy,
+                                           kill_at=args.kill_at,
+                                           seed=args.seed)]
+    else:
+        rows = recovery.run_recovery_ablation(seed=args.seed,
+                                              kill_at=args.kill_at)
+    print(recovery.report(rows))
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -307,8 +327,29 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--check-determinism", action="store_true",
                     help="run the scenario twice and require identical "
                          "digests")
+    pc.add_argument("--recovery", default=None,
+                    choices=["none", "restart", "checkpoint", "replicate",
+                             "lineage"],
+                    help="run under the repro.ft recovery subsystem with "
+                         "this policy on the map shards (default: legacy "
+                         "application-level healing, byte-identical to "
+                         "previous releases)")
     _add_exec_args(pc)
     pc.set_defaults(fn=_cmd_chaos)
+
+    pr = sub.add_parser(
+        "recovery",
+        help="kill-a-machine-mid-Fig.2 experiment and recovery-policy "
+             "ablation")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--kill-at", type=float, default=0.4,
+                    help="virtual seconds after preprocessing starts")
+    pr.add_argument("--policy", default=None,
+                    choices=["none", "restart", "checkpoint", "replicate",
+                             "lineage"],
+                    help="run a single policy instead of the full "
+                         "ablation (baseline is always included)")
+    pr.set_defaults(fn=_cmd_recovery)
 
     pt = sub.add_parser(
         "trace",

@@ -93,9 +93,12 @@ class ComputeProclet(ResourceProclet):
         ref = self.self_ref()
         self._live_workers = self.parallelism
         for wid in range(self.parallelism):
+            # Never transparently retried: a respawned incarnation's own
+            # on_start restarts its worker loops, so a retry would stack
+            # duplicate workers onto the new incarnation.
             self._runtime.invoke(ref, "cp_worker", wid,
                                  caller_machine=self.machine,
-                                 priority=ctx.priority)
+                                 priority=ctx.priority, retryable=False)
 
     def request_stop(self):
         """Stop accepting work; returns an event that fires once every

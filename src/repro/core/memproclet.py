@@ -222,6 +222,23 @@ class MemoryProclet(ResourceProclet):
             self.heap_free(total)
         return items, total
 
+    # -- fault-tolerance hooks (repro.ft) --------------------------------------
+    def ft_capture(self):
+        """Snapshot every object plus the shard's key range.
+
+        Non-destructive (unlike :meth:`extract_all`): the proclet keeps
+        serving while the checkpoint engine copies the snapshot out.
+        """
+        items = [(key, *self._objects[key]) for key in self._keys]
+        state = {"items": items, "range": (self.range_lo, self.range_hi)}
+        return state, self.heap_bytes
+
+    def ft_restore(self, state) -> None:
+        """Rebuild objects and key range from an :meth:`ft_capture`
+        snapshot (charges this incarnation's DRAM via install)."""
+        self.range_lo, self.range_hi = state["range"]
+        self.install(list(state["items"]))
+
     def install(self, items: List[Tuple[Any, float, Any]]) -> float:
         """Bulk-insert items (the receiving end of a split/merge).
 

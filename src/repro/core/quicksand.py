@@ -74,8 +74,38 @@ class Quicksand:
         self.shard_controller: Optional[ShardSizeController] = (
             ShardSizeController(self) if config.enable_split_merge else None
         )
+        #: The attached repro.ft.RecoveryManager (enable_recovery), or
+        #: None: fail-stop semantics, no detector/heartbeat processes.
+        self.recovery = None
         self.splits = 0
         self.merges = 0
+
+    # -- fault tolerance ---------------------------------------------------------
+    def enable_recovery(self, config=None):
+        """Attach the :mod:`repro.ft` subsystem and return its
+        :class:`~repro.ft.RecoveryManager`.
+
+        Starts the heartbeat failure detector, gates placement off
+        *suspected* machines, and turns on transparent call retry for
+        proclets registered via ``manager.protect()``.  Without this
+        call, nothing from :mod:`repro.ft` runs and trajectories are
+        bit-identical to builds predating it.
+        """
+        if self.recovery is not None:
+            raise RuntimeError("recovery is already enabled")
+        from ..ft import RecoveryConfig, RecoveryManager
+
+        manager = RecoveryManager(self, config or RecoveryConfig())
+        self.recovery = manager
+        self.placement.health = manager.eligible
+        return manager
+
+    def eligible_machines(self) -> List[Machine]:
+        """Machines placement may target: up, and (with recovery
+        enabled) not currently suspected by the failure detector."""
+        health = self.placement.health
+        return [m for m in self.cluster.machines
+                if m.up and (health is None or health(m))]
 
     # -- spawning resource proclets --------------------------------------------
     def spawn(self, proclet: Proclet, machine: Optional[Machine] = None,
@@ -94,9 +124,9 @@ class Quicksand:
             m = self.placement.best_for_compute(
                 getattr(proclet, "parallelism", 1))
             if m is None:
-                # No idle cores anywhere: fall back to the live machine
-                # with the least planned+actual CPU commitment.
-                live = [x for x in self.cluster.machines if x.up]
+                # No idle cores anywhere: fall back to the eligible
+                # machine with the least planned+actual CPU commitment.
+                live = self.eligible_machines()
                 m = max(
                     live,
                     key=lambda x: min(

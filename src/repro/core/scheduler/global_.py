@@ -63,7 +63,7 @@ class GlobalScheduler:
     def _rebalance_by_packing(self) -> None:
         from .binpack import PackItem, plan_packing
 
-        machines = [m for m in self.qs.cluster.machines if m.up]
+        machines = self.qs.eligible_machines()
         by_name = {m.name: m for m in machines}
 
         def apply_plan(items, capacities):
@@ -108,7 +108,7 @@ class GlobalScheduler:
         )
 
     def _rebalance_compute(self) -> None:
-        machines = [m for m in self.qs.cluster.machines if m.up]
+        machines = self.qs.eligible_machines()
         if len(machines) < 2:
             return
         ratios = [(self._normal_cpu_demand(m) / m.cpu.cores, m)
@@ -138,7 +138,7 @@ class GlobalScheduler:
 
     # -- memory balance --------------------------------------------------------
     def _rebalance_memory(self) -> None:
-        machines = [m for m in self.qs.cluster.machines if m.up]
+        machines = self.qs.eligible_machines()
         if len(machines) < 2:
             return
         by_pressure = sorted(machines, key=lambda m: m.memory.pressure)

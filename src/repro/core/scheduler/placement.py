@@ -9,7 +9,7 @@ machine.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
 from ...cluster import Cluster, Machine, Priority
 
@@ -26,11 +26,20 @@ class PlacementPolicy:
     def __init__(self, cluster: Cluster, runtime=None):
         self.cluster = cluster
         self.runtime = runtime
+        #: Optional health gate (wired to the failure detector by
+        #: ``Quicksand.enable_recovery``): machines it rejects — e.g.
+        #: *suspected* but not yet confirmed dead — receive no new
+        #: placements, even while ``machine.up`` still reads True to the
+        #: data plane.
+        self.health: Optional[Callable[[Machine], bool]] = None
 
     def attach_runtime(self, runtime) -> None:
         """Give the policy visibility into hosted proclets (for planned
         compute demand)."""
         self.runtime = runtime
+
+    def _healthy(self, machine: Machine) -> bool:
+        return machine.up and (self.health is None or self.health(machine))
 
     # -- memory --------------------------------------------------------------
     def best_for_memory(self, nbytes: float,
@@ -39,7 +48,7 @@ class PlacementPolicy:
         skip = set(exclude)
         best, best_free = None, -1.0
         for m in self.cluster.machines:
-            if m in skip or not m.up:
+            if m in skip or not self._healthy(m):
                 continue
             free = m.memory.free
             if free >= nbytes and free > best_free:
@@ -63,7 +72,7 @@ class PlacementPolicy:
         skip = set(exclude)
         best, best_free = None, 0.0
         for m in self.cluster.machines:
-            if m in skip or not m.up:
+            if m in skip or not self._healthy(m):
                 continue
             free = m.cpu.free_cores(priority)
             # Also subtract *planned* demand: compute proclets already
@@ -95,7 +104,7 @@ class PlacementPolicy:
         """Machine with the most idle GPUs."""
         best, best_free = None, -1.0
         for m in self.cluster.machines:
-            if m.gpus is None or not m.up:
+            if m.gpus is None or not self._healthy(m):
                 continue
             free = m.gpus.sched.free_capacity()
             if free > best_free:
@@ -107,7 +116,7 @@ class PlacementPolicy:
         """Machine whose storage device has the most free capacity."""
         best, best_free = None, -1.0
         for m in self.cluster.machines:
-            if m.storage is None or not m.up:
+            if m.storage is None or not self._healthy(m):
                 continue
             free = m.storage.free
             if free >= nbytes and free > best_free:

@@ -64,6 +64,13 @@ class ShardSizeController:
             # gate; retrying now would spin at the current timestamp.
             # Whoever holds the gate re-checks on completion.
             return
+        recovery = self.qs.runtime.recovery
+        if recovery is not None and recovery.restoring(proclet.id):
+            # Mid-restore the shard looks transiently empty (a lineage
+            # replay refills it write by write); merging it away now
+            # would destroy the incarnation being recovered.  The
+            # manager re-pokes this hook when the restore completes.
+            return
         if proclet.heap_bytes > self.config.max_shard_bytes:
             self._busy.add(proclet.id)
             self.splits_requested += 1

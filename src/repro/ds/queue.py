@@ -154,12 +154,24 @@ class ShardedQueue:
 
         return self.qs.sim.process(attempt(), name=f"{self.name}.push")
 
+    @staticmethod
+    def _routable(ref):
+        """The shard's live proclet, or None while it is lost to a
+        machine failure (awaiting recovery) — routing must skip it
+        rather than crash; the invocation layer handles retries."""
+        from ..runtime import DeadProclet
+
+        try:
+            proclet = ref.proclet
+        except DeadProclet:
+            return None
+        return None if proclet.status is ProcletStatus.DEAD else proclet
+
     def _pick_push_shard(self, ctx):
-        live = [s for s in self.shards
-                if s.proclet.status is not ProcletStatus.DEAD]
+        live = [s for s in self.shards if self._routable(s) is not None]
         candidates = live or self.shards
-        if ctx is not None:
-            local = [s for s in candidates if s.machine is ctx.machine]
+        if ctx is not None and live:
+            local = [s for s in live if s.machine is ctx.machine]
             if local:
                 return min(local, key=lambda s: s.proclet.length)
         ref = candidates[self._rr_push % len(candidates)]
@@ -207,8 +219,7 @@ class ShardedQueue:
             yield waiter
 
     def _pop_order(self, ctx):
-        shards = [s for s in self.shards
-                  if s.proclet.status is not ProcletStatus.DEAD]
+        shards = [s for s in self.shards if self._routable(s) is not None]
         nonempty = [s for s in shards if s.proclet.length > 0]
         candidates = nonempty or shards
         if ctx is not None:

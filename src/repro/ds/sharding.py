@@ -81,7 +81,7 @@ class ShardedBase:
         idx = self._bisect(shard.lo)
         self.shards.insert(idx, shard)
         self._los.insert(idx, shard.lo)
-        self.index_ref.proclet.heap_alloc(INDEX_ENTRY_BYTES)
+        self._index_charge(INDEX_ENTRY_BYTES)
         self._refresh_ranges()
         if self.qs.shard_controller is not None:
             self.qs.shard_controller.register(shard.ref, self)
@@ -90,10 +90,31 @@ class ShardedBase:
         idx = self.shards.index(shard)
         del self.shards[idx]
         del self._los[idx]
-        self.index_ref.proclet.heap_free(INDEX_ENTRY_BYTES)
+        self._index_charge(-INDEX_ENTRY_BYTES)
         self._refresh_ranges()
         if self.qs.shard_controller is not None:
             self.qs.shard_controller.unregister(shard.ref)
+
+    def _index_charge(self, delta: float) -> None:
+        """Adjust the index proclet's DRAM for a routing-table entry.
+
+        The table itself lives host-side (``self.shards``); the proclet
+        only carries its memory cost.  It may be lost to a machine
+        failure — and, under recovery, respawned empty — between two
+        charges, so a missing proclet is skipped (its bytes died with
+        the machine) and a release is clamped to what the incarnation
+        actually holds.
+        """
+        from ..runtime import DeadProclet
+
+        try:
+            proclet = self.index_ref.proclet
+        except DeadProclet:
+            return
+        if delta >= 0:
+            proclet.heap_alloc(delta)
+        else:
+            proclet.heap_free(min(-delta, proclet.heap_bytes))
 
     def _refresh_ranges(self) -> None:
         """Push the routing table's ranges down into the shard proclets,
@@ -229,8 +250,15 @@ class ShardedBase:
         neighbour = self._merge_partner(idx)
         if neighbour is None:
             return False
-        combined = (self.shards[idx].proclet.heap_bytes
-                    + neighbour.proclet.heap_bytes)
+        from ..runtime import DeadProclet
+
+        try:
+            combined = (self.shards[idx].proclet.heap_bytes
+                        + neighbour.proclet.heap_bytes)
+        except DeadProclet:
+            # The partner is lost to a machine failure (possibly
+            # awaiting recovery): there is nothing to merge into.
+            return False
         return combined < 0.7 * self.qs.config.max_shard_bytes
 
     def _merge_partner(self, idx: int) -> Optional[Shard]:

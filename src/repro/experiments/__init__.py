@@ -6,11 +6,13 @@ from . import (
     fig1_filler,
     fig2_imbalance,
     fig3_gpu_adapt,
+    recovery,
     sweep_burst,
 )
 from .fig1_filler import Fig1Config, Fig1Result, run_fig1, run_fig1_both
 from .fig2_imbalance import Fig2Row, run_fig2, run_fig2_config
 from .fig3_gpu_adapt import Fig3Config, Fig3Result, run_fig3
+from .recovery import RecoveryRow, run_recovery_ablation, run_recovery_fig2
 from .sweep_burst import SweepPoint, run_sweep
 
 __all__ = [
@@ -23,6 +25,10 @@ __all__ = [
     "fig1_filler",
     "fig2_imbalance",
     "fig3_gpu_adapt",
+    "recovery",
+    "RecoveryRow",
+    "run_recovery_ablation",
+    "run_recovery_fig2",
     "SweepPoint",
     "run_fig1",
     "run_fig1_both",

@@ -1,0 +1,29 @@
+"""Fault tolerance: failure detection and proclet recovery policies.
+
+The runtime alone gives fail-stop semantics: a machine crash kills its
+proclets and callers see :class:`~repro.runtime.errors.ProcletLost`.
+This package adds the recovery half (§5 argues granular proclets make
+fault isolation *and* recovery cheap): a virtual-time heartbeat
+:class:`FailureDetector`, per-proclet :class:`RecoveryPolicy` choices
+(restart / checkpoint / hot replica / lineage replay), and a
+:class:`RecoveryManager` that re-places lost proclets through the
+normal scheduler machinery and transparently retries interrupted calls.
+
+Everything here is opt-in via ``Quicksand.enable_recovery()``; without
+it, trajectories are bit-identical to builds predating this package.
+"""
+
+from .config import RecoveryConfig, RecoveryPolicy
+from .detector import FailureDetector, MachineHealth
+from .lineage import LineageLog
+from .manager import RecoveryManager, StandbyProclet
+
+__all__ = [
+    "FailureDetector",
+    "LineageLog",
+    "MachineHealth",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "StandbyProclet",
+]

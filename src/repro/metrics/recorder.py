@@ -108,6 +108,33 @@ class MetricsRecorder:
             stats[f"kernel.{key}"] = merged[key]
         return stats
 
+    def record_recovery_stats(self, manager, prefix: str = "ft") -> Dict:
+        """Snapshot a :class:`repro.ft.RecoveryManager`'s outcome
+        counters into gauges at the current virtual time.
+
+        Records detector totals (``{prefix}.suspects`` / ``confirms`` /
+        ``machines_back``), recovery outcomes (``recoveries`` overall
+        and per policy, ``failed_recoveries``, ``sheds``) and the live
+        checkpoint/standby footprint, then returns the stats dict —
+        the fault-tolerance analogue of :meth:`record_exec_stats`.
+        """
+        now = self.sim.now
+        stats = {
+            "suspects": manager.detector.suspects,
+            "confirms": manager.detector.confirms,
+            "machines_back": manager.detector.recoveries,
+            "recoveries": sum(manager.recoveries.values()),
+            "failed_recoveries": manager.failed_recoveries,
+            "sheds": manager.sheds,
+            "checkpoint_bytes_held": manager.checkpoint_bytes_held,
+            "standbys": len(manager._standbys),
+        }
+        for policy, n in manager.recoveries.items():
+            stats[f"recoveries.{policy}"] = n
+        for key in sorted(stats):
+            self.gauge(f"{prefix}.{key}").set(now, stats[key])
+        return stats
+
     def record_trace_stats(self, tracer=None,
                            prefix: str = "obs.trace") -> Dict:
         """Snapshot a :class:`repro.obs.SpanTracer`'s counters into gauges.

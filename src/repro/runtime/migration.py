@@ -54,6 +54,13 @@ class MigrationConfig:
     #: Delay before the first retry; each further retry multiplies it.
     retry_backoff: float = 200 * US
     backoff_multiplier: float = 2.0
+    #: Fraction of the current backoff added as seeded random jitter
+    #: (drawn from the ``runtime.migration.jitter`` stream, so replays
+    #: stay deterministic).  Pure exponential backoff synchronizes
+    #: concurrent retries into a stampede against a just-restored
+    #: machine; any jitter > 0 desynchronizes them.  The default 0
+    #: preserves the historical bit-identical trajectories.
+    retry_jitter: float = 0.0
 
     def __post_init__(self):
         if self.fixed_overhead < 0 or self.resume_overhead < 0:
@@ -64,6 +71,8 @@ class MigrationConfig:
             raise ValueError("retry_backoff must be non-negative")
         if self.backoff_multiplier < 1.0:
             raise ValueError("backoff_multiplier must be >= 1")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
 
 
 class MigrationEngine:
@@ -215,7 +224,11 @@ class MigrationEngine:
             self.migrations_retried += 1
             if self.runtime.metrics is not None:
                 self.runtime.metrics.count("runtime.migration.retries")
-            yield sim.timeout(backoff)
+            delay = backoff
+            if config.retry_jitter > 0.0:
+                rng = sim.random.stream("runtime.migration.jitter")
+                delay += backoff * config.retry_jitter * rng.random()
+            yield sim.timeout(delay)
             backoff *= config.backoff_multiplier
 
         self._inflight[proclet.id] = (dst, nbytes, dst.incarnation)

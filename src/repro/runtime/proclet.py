@@ -129,6 +129,26 @@ class Proclet:
     def on_migrated(self, src_machine, dst_machine) -> None:
         """Synchronous hook called after each completed migration."""
 
+    # -- fault-tolerance hooks (repro.ft) ------------------------------------
+    def ft_capture(self):
+        """Snapshot user state for checkpoint/replication.
+
+        Returns ``(state, nbytes)`` where *state* is an opaque value
+        :meth:`ft_restore` can rebuild from and *nbytes* is the wire/DRAM
+        size of the snapshot, or ``(None, 0.0)`` for stateless proclets
+        (the default) — those recover via ``RESTART`` semantics.
+        Capturing must not mutate the proclet.
+        """
+        return None, 0.0
+
+    def ft_restore(self, state) -> None:
+        """Rebuild user state from an :meth:`ft_capture` snapshot.
+
+        Called on a freshly respawned incarnation, already placed on a
+        machine — implementations charge DRAM through the normal
+        :meth:`heap_alloc` path so accounting invariants keep holding.
+        """
+
     def __repr__(self) -> str:
         where = self._machine.name if self._machine is not None else "?"
         return (f"<{type(self).__name__} #{self._id} {self._name!r} "

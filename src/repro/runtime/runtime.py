@@ -43,14 +43,25 @@ class NuRuntime:
         self._proclets: Dict[int, Proclet] = {}
         # Ids of proclets killed by machine failures: lookups through a
         # stale ref raise ProcletLost instead of the generic DeadProclet.
+        # Query through is_lost()/lost_proclets(); a RecoveryManager may
+        # move an id back out via respawn().
         self._lost: set = set()
+        # Proclet-id -> incarnation number, bumped by every respawn().
+        # At most one incarnation of an id is ever live (see respawn).
+        self._incarnations: Dict[int, int] = {}
         self._next_id = 0
         self.local_calls = 0
         self.remote_calls = 0
+        #: The attached repro.ft.RecoveryManager, or None (the default:
+        #: fail-stop semantics, bit-identical to runs without repro.ft).
+        self.recovery = None
         self._heap_listeners: List[Callable[[Proclet], None]] = []
         #: Called as fn(caller_proclet_id_or_None, callee_id, remote: bool)
         #: on every invocation — feeds the affinity tracker.
         self._invocation_listeners: List[Callable] = []
+        #: Called as fn(machine, lost_proclets) after fail_machine has
+        #: finished tearing a machine down (recovery bookkeeping hook).
+        self._failure_listeners: List[Callable] = []
 
     # -- lifecycle ----------------------------------------------------------
     def spawn(self, proclet: Proclet, machine: Machine,
@@ -88,7 +99,8 @@ class NuRuntime:
                        parent=proclet._span, track=f"machine:{machine.name}")
         ref = ProcletRef(self, pid, proclet._name)
         if type(proclet).on_start is not Proclet.on_start:
-            self.invoke(ref, "on_start", caller_machine=machine)
+            self.invoke(ref, "on_start", caller_machine=machine,
+                        retryable=False)
         return ref
 
     def destroy(self, ref: ProcletRef) -> None:
@@ -128,12 +140,79 @@ class NuRuntime:
     def proclet_count(self) -> int:
         return len(self._proclets)
 
+    # -- failure bookkeeping (public surface) --------------------------------
+    def is_lost(self, proclet_id: int) -> bool:
+        """True while *proclet_id* is dead due to a machine failure (as
+        opposed to destroyed or never spawned).  A recovery manager may
+        later clear this by respawning the id."""
+        return proclet_id in self._lost
+
+    def lost_proclets(self) -> List[int]:
+        """Sorted ids of all proclets currently lost to machine
+        failures."""
+        return sorted(self._lost)
+
+    def incarnation_of(self, proclet_id: int) -> int:
+        """How many times *proclet_id* has been respawned (0 = the
+        original incarnation)."""
+        return self._incarnations.get(proclet_id, 0)
+
+    def respawn(self, proclet: Proclet, machine: Machine,
+                proclet_id: int, name: str = "") -> ProcletRef:
+        """Bring a lost proclet id back to life as a new incarnation.
+
+        *proclet* is a fresh (never-spawned) object that takes over
+        *proclet_id*, so existing :class:`ProcletRef`\\ s transparently
+        resolve to the new incarnation.  Only ids lost to machine
+        failures can be respawned — at most one incarnation of an id is
+        ever live.  State restoration (checkpoint install, replica
+        promotion, lineage replay) is the caller's job; see
+        :mod:`repro.ft`.
+        """
+        if proclet._id is not None:
+            raise ValueError(f"{proclet!r} was already spawned")
+        if proclet_id not in self._lost:
+            raise ValueError(
+                f"proclet #{proclet_id} is not lost; only proclets lost "
+                f"to machine failures can be respawned")
+        if not machine.up:
+            raise MachineFailed(
+                f"cannot respawn proclet #{proclet_id} on crashed "
+                f"machine {machine.name}")
+        machine.memory.reserve(proclet.footprint)
+        self._lost.discard(proclet_id)
+        incarnation = self._incarnations.get(proclet_id, 0) + 1
+        self._incarnations[proclet_id] = incarnation
+        proclet._runtime = self
+        proclet._id = proclet_id
+        proclet._name = name or f"{type(proclet).__name__}#{proclet_id}"
+        proclet._machine = machine
+        proclet._status = ProcletStatus.RUNNING
+        self._proclets[proclet_id] = proclet
+        self.locator.place(proclet_id, machine)
+        if self.metrics is not None:
+            self.metrics.count("runtime.respawns")
+        tr = self.sim.tracer
+        if tr is not None:
+            proclet._span = tr.begin(
+                "proclet", proclet._name, track=f"proclet:{proclet._name}",
+                machine=machine.name, footprint=proclet.footprint,
+                incarnation=incarnation)
+            tr.instant("lifecycle", f"respawn {proclet._name}",
+                       parent=proclet._span, track=f"machine:{machine.name}")
+        ref = ProcletRef(self, proclet_id, proclet._name)
+        if type(proclet).on_start is not Proclet.on_start:
+            self.invoke(ref, "on_start", caller_machine=machine,
+                        retryable=False)
+        return ref
+
     # -- invocation -------------------------------------------------------------
     def invoke(self, ref: ProcletRef, method: str, *args,
                caller_machine: Optional[Machine] = None,
                caller_proclet_id: Optional[int] = None,
                priority: Priority = Priority.NORMAL,
-               req_bytes: float = 0.0, **kwargs) -> Process:
+               req_bytes: float = 0.0, retryable: bool = True,
+               **kwargs) -> Process:
         """Invoke *method* on the proclet behind *ref*.
 
         Returns a process event whose value is the method's return value.
@@ -141,17 +220,56 @@ class NuRuntime:
         round trip (plus bulk transfers for ``req_bytes`` and any
         :class:`Payload` response).  Invocations issued while the target
         is migrating block until the migration completes (§3.3).
+
+        When a :mod:`repro.ft` recovery manager covers the target,
+        losing it to a machine failure does not surface
+        :class:`ProcletLost` immediately: the call backs off (budgeted
+        exponential delay + seeded jitter) and transparently retries
+        against the respawned incarnation (at-least-once semantics).
+        Pass ``retryable=False`` for calls that must not re-execute,
+        e.g. worker-loop drivers restarted by ``on_start`` instead.
         """
         return self.sim.process(
             self._invoke_proc(ref, method, args, kwargs, caller_machine,
-                              caller_proclet_id, priority, req_bytes),
+                              caller_proclet_id, priority, req_bytes,
+                              retryable),
             name=f"call:{ref.name}.{method}",
         )
 
     def _invoke_proc(self, ref: ProcletRef, method: str, args, kwargs,
                      caller_machine: Optional[Machine],
                      caller_proclet_id: Optional[int], priority: Priority,
-                     req_bytes: float) -> Generator:
+                     req_bytes: float, retryable: bool = True) -> Generator:
+        attempt = 0
+        while True:
+            try:
+                result = yield from self._invoke_attempt(
+                    ref, method, args, kwargs, caller_machine,
+                    caller_proclet_id, priority, req_bytes)
+                return result
+            except (ProcletLost, MachineFailed) as exc:
+                # Transparent retry: only when a recovery manager covers
+                # the target and the failure is the *target* being lost
+                # (a MachineFailed from the caller's own resources must
+                # surface — the callee may be perfectly healthy).
+                recovery = self.recovery
+                if recovery is None or not retryable:
+                    raise
+                if not (isinstance(exc, ProcletLost)
+                        or ref.proclet_id in self._lost):
+                    raise
+                delay = recovery.retry_delay(ref.proclet_id, attempt, exc)
+                if delay is None:
+                    raise
+                attempt += 1
+                if self.metrics is not None:
+                    self.metrics.count("ft.call_retries")
+                yield self.sim.timeout(delay)
+
+    def _invoke_attempt(self, ref: ProcletRef, method: str, args, kwargs,
+                        caller_machine: Optional[Machine],
+                        caller_proclet_id: Optional[int],
+                        priority: Priority, req_bytes: float) -> Generator:
         proclet = self.get_proclet(ref.proclet_id)
 
         # Block while the target is mid-migration (possibly repeatedly).
@@ -279,6 +397,10 @@ class NuRuntime:
             self.metrics.count("runtime.machine_failures")
         self.tracer.emit("failure", f"machine {machine.name} crashed",
                          lost_proclets=len(lost))
+        # Recovery bookkeeping hooks run last, against the settled
+        # post-crash state (machine down, proclets deregistered).
+        for listener in self._failure_listeners:
+            listener(machine, lost)
         return lost
 
     def restore_machine(self, machine: Machine) -> None:
@@ -300,6 +422,11 @@ class NuRuntime:
     def on_invocation(self, fn: Callable) -> None:
         """Subscribe to every invocation (affinity-tracking hook)."""
         self._invocation_listeners.append(fn)
+
+    def on_machine_failure(self, fn: Callable) -> None:
+        """Subscribe ``fn(machine, lost_proclets)`` to machine crashes
+        (called synchronously at the end of :meth:`fail_machine`)."""
+        self._failure_listeners.append(fn)
 
     def _notify_heap_change(self, proclet: Proclet) -> None:
         for fn in self._heap_listeners:

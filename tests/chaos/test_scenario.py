@@ -49,6 +49,46 @@ class TestScenario:
         assert result.oracle_comparisons > 0
 
 
+class TestRecoveryMode:
+    """Chaos with the runtime recovery subsystem active: every policy
+    survives the fault schedule with invariants holding, and replays
+    stay bit-identical."""
+
+    @pytest.mark.parametrize(
+        "policy", ["none", "restart", "checkpoint", "replicate", "lineage"])
+    def test_policy_survives_chaos(self, policy):
+        result = run_chaos(small(seed=13, recovery_policy=policy))
+        assert result.invariant_checks > 100
+        assert result.confirms >= result.machines_crashed
+        if policy != "none":
+            # Something died and something came back.
+            assert result.recoveries >= 1
+
+    def test_recovery_replay_is_bit_identical(self):
+        a = run_chaos(small(seed=13, recovery_policy="checkpoint"))
+        b = run_chaos(small(seed=13, recovery_policy="checkpoint"))
+        assert a.digest() == b.digest()
+        assert a.recoveries == b.recoveries
+        assert a.call_retries == b.call_retries
+
+    def test_policies_produce_distinct_trajectories(self):
+        none = run_chaos(small(seed=13, recovery_policy="none"))
+        ckpt = run_chaos(small(seed=13, recovery_policy="checkpoint"))
+        assert none.digest() != ckpt.digest()
+
+    def test_legacy_path_untouched_by_recovery_code(self):
+        """recovery_policy=None must take the exact pre-subsystem path:
+        zero recovery counters, app-level healing only."""
+        result = run_chaos(small(seed=11))
+        assert result.confirms == 0
+        assert result.recoveries == 0
+        assert result.sheds == 0
+
+    def test_report_mentions_recovery(self):
+        result = run_chaos(small(seed=13, recovery_policy="replicate"))
+        assert "recovery (replicate)" in result.report()
+
+
 class TestChaosCli:
     def test_chaos_command_deterministic(self, capsys):
         from repro.cli import main

@@ -1,0 +1,102 @@
+"""Failure-detector state machine: heartbeats, suspicion, confirmation."""
+
+import pytest
+
+from repro.ft import FailureDetector, MachineHealth, RecoveryConfig
+
+from ..conftest import make_qs
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+CFG = RecoveryConfig(heartbeat_interval=1e-3, suspect_after=2,
+                     confirm_after=4)
+
+
+class TestStateMachine:
+    def test_everything_starts_alive(self, qs):
+        det = FailureDetector(qs.cluster, CFG)
+        for m in qs.machines:
+            assert det.state(m) is MachineHealth.ALIVE
+            assert det.eligible(m)
+        assert det.suspected_machines() == []
+
+    def test_crash_walks_alive_suspected_dead(self, qs):
+        det = FailureDetector(qs.cluster, CFG, metrics=qs.metrics)
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        # One missed heartbeat is not enough to suspect.
+        qs.run(until=1.5e-3)
+        assert det.state(m0) is MachineHealth.ALIVE
+        qs.run(until=2.5e-3)  # 2 misses -> SUSPECTED
+        assert det.state(m0) is MachineHealth.SUSPECTED
+        assert not det.eligible(m0)
+        qs.run(until=4.5e-3)  # 4 misses -> DEAD
+        assert det.state(m0) is MachineHealth.DEAD
+        assert det.suspects == 1
+        assert det.confirms == 1
+        assert qs.metrics.counter("ft.confirms").total == 1
+
+    def test_confirm_fires_listener_once(self, qs):
+        det = FailureDetector(qs.cluster, CFG)
+        confirmed = []
+        det.on_confirm(confirmed.append)
+        qs.runtime.fail_machine(qs.machines[0])
+        qs.run(until=0.02)
+        assert confirmed == [qs.machines[0]]
+
+    def test_false_positive_snaps_back_to_alive(self, qs):
+        """A machine restored while merely SUSPECTED never dies: the
+        next good heartbeat clears it, and no recovery is triggered."""
+        det = FailureDetector(qs.cluster, CFG, metrics=qs.metrics)
+        confirmed = []
+        alive = []
+        det.on_confirm(confirmed.append)
+        det.on_alive(lambda m, _prev: alive.append(m))
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        qs.run(until=2.5e-3)
+        assert det.state(m0) is MachineHealth.SUSPECTED
+        qs.runtime.restore_machine(m0)
+        qs.run(until=0.02)
+        assert det.state(m0) is MachineHealth.ALIVE
+        assert confirmed == []
+        assert alive == [m0]
+        assert det.recoveries == 1
+        assert qs.metrics.counter("ft.machines_back").total == 1
+
+    def test_restore_after_confirm_returns_to_alive(self, qs):
+        det = FailureDetector(qs.cluster, CFG)
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        qs.run(until=0.01)
+        assert det.state(m0) is MachineHealth.DEAD
+        qs.runtime.restore_machine(m0)
+        qs.run(until=0.02)
+        assert det.state(m0) is MachineHealth.ALIVE
+        assert det.eligible(m0)
+
+
+class TestPlacementGate:
+    def test_suspected_machine_excluded_from_placement(self):
+        qs = make_qs(enable_split_merge=False,
+                     enable_global_scheduler=False)
+        manager = qs.enable_recovery(CFG)
+        m0, m1 = qs.machines
+        qs.runtime.fail_machine(m0)
+        qs.run(until=2.5e-3)  # suspected, not yet confirmed
+        assert manager.detector.state(m0) is MachineHealth.SUSPECTED
+        assert qs.eligible_machines() == [m1]
+        ref = qs.spawn_memory()
+        assert ref.machine is m1
+
+    def test_health_gate_installed_by_enable_recovery(self):
+        qs = make_qs(enable_split_merge=False,
+                     enable_global_scheduler=False)
+        manager = qs.enable_recovery()
+        assert qs.placement.health == manager.eligible

@@ -1,0 +1,169 @@
+"""End-to-end recovery per policy: kill the host, watch the state
+come back (or not) under RESTART / CHECKPOINT / REPLICATE / LINEAGE."""
+
+import pytest
+
+from repro import MachineSpec
+from repro.core.memproclet import MemoryProclet
+from repro.ft import LineageLog, RecoveryConfig, RecoveryPolicy
+from repro.runtime import ProcletLost
+from repro.units import GiB, MiB
+
+from ..conftest import make_qs
+
+CFG = RecoveryConfig(heartbeat_interval=1e-3, suspect_after=2,
+                     confirm_after=4, checkpoint_interval=10e-3,
+                     mirror_interval=5e-3)
+
+
+def make_rig(policy, config=CFG, machines=3, lineage=None):
+    """A small cluster with one protected memory proclet on m0 holding
+    ten 1 MiB objects; returns (qs, manager, ref, lineage)."""
+    qs = make_qs(
+        machines=[MachineSpec(name=f"m{i}", cores=4, dram_bytes=4 * GiB)
+                  for i in range(machines)],
+        enable_local_scheduler=False, enable_global_scheduler=False,
+        enable_split_merge=False)
+    manager = qs.enable_recovery(config)
+    ref = qs.spawn_memory(machine=qs.machines[0], name="state")
+    log = lineage
+    if policy is RecoveryPolicy.LINEAGE and log is None:
+        log = LineageLog()
+    for i in range(10):
+        if log is not None:
+            ev = log.recording_put(qs.runtime, ref, i, 1 * MiB, f"v{i}")
+        else:
+            ev = ref.call("mp_put", i, 1 * MiB, f"v{i}")
+        qs.run(until_event=ev)
+    manager.protect(ref, policy, lineage=log)
+    return qs, manager, ref, log
+
+
+def kill_and_recover(qs, machine, until=0.2):
+    qs.runtime.fail_machine(machine)
+    qs.run(until=qs.sim.now + until)
+
+
+class TestRestart:
+    def test_respawns_empty_with_same_pid(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.RESTART)
+        pid = ref.proclet_id
+        kill_and_recover(qs, qs.machines[0])
+        assert not qs.runtime.is_lost(pid)
+        assert ref.proclet.heap_bytes == 0.0
+        assert ref.machine is not qs.machines[0]
+        assert manager.recoveries == {"restart": 1}
+        assert qs.runtime.incarnation_of(pid) == 1
+
+    def test_old_ref_keeps_working(self):
+        qs, _m, ref, _ = make_rig(RecoveryPolicy.RESTART)
+        kill_and_recover(qs, qs.machines[0])
+        qs.run(until_event=ref.call("mp_put", 99, 1 * MiB, "fresh"))
+        assert qs.run(until_event=ref.call("mp_get", 99)) == "fresh"
+
+
+class TestCheckpoint:
+    def test_state_restored_from_snapshot(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.CHECKPOINT)
+        qs.run(until=qs.sim.now + 0.05)  # let a checkpoint land
+        assert manager.checkpoint_bytes_held > 0
+        kill_and_recover(qs, qs.machines[0])
+        for i in range(10):
+            assert qs.run(until_event=ref.call("mp_get", i)) == f"v{i}"
+        assert manager.recoveries == {"checkpoint": 1}
+        assert manager.convergence_errors == []
+
+    def test_loss_bounded_by_snapshot_interval(self):
+        """Writes after the last snapshot are lost — and exactly those."""
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.CHECKPOINT)
+        qs.run(until=qs.sim.now + 0.05)
+        # This write lands after the last pre-kill snapshot fires.
+        qs.run(until_event=ref.call("mp_put", 50, 1 * MiB, "late"))
+        qs.runtime.fail_machine(qs.machines[0])
+        qs.run(until=qs.sim.now + 0.05)
+        for i in range(10):
+            assert qs.run(until_event=ref.call("mp_get", i)) == f"v{i}"
+        losses = qs.metrics.samples("ft.data_loss_bytes")
+        assert losses and losses[0] >= 0.0
+
+    def test_snapshot_bytes_pruned_when_peer_dies(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.CHECKPOINT)
+        qs.run(until=qs.sim.now + 0.05)
+        peer = manager._snapshots[ref.proclet_id].peer
+        assert peer is not qs.machines[0]
+        held = manager.checkpoint_bytes_held
+        assert manager.reserved_on(peer) == pytest.approx(held)
+        qs.runtime.fail_machine(peer)
+        assert manager.checkpoint_bytes_held == 0.0
+        assert manager.reserved_on(peer) == 0.0
+
+
+class TestReplicate:
+    def test_zero_loss_promotion(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.REPLICATE)
+        qs.run(until=qs.sim.now + 0.03)  # initial mirror sync
+        kill_and_recover(qs, qs.machines[0])
+        for i in range(10):
+            assert qs.run(until_event=ref.call("mp_get", i)) == f"v{i}"
+        assert manager.recoveries == {"replicate": 1}
+        assert qs.metrics.samples("ft.data_loss_bytes") == [0.0]
+
+    def test_standby_rearmed_after_promotion(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.REPLICATE)
+        qs.run(until=qs.sim.now + 0.03)
+        kill_and_recover(qs, qs.machines[0])
+        standby = manager._standbys.get(ref.proclet_id)
+        assert standby is not None
+        assert standby.machine is not ref.machine
+
+    def test_mirror_pays_wire_bytes(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.REPLICATE)
+        qs.run(until=qs.sim.now + 0.05)
+        assert qs.metrics.counter("ft.mirror.bytes").total >= 10 * MiB
+
+
+class TestLineage:
+    def test_replay_rebuilds_state(self):
+        qs, manager, ref, log = make_rig(RecoveryPolicy.LINEAGE)
+        kill_and_recover(qs, qs.machines[0])
+        for i in range(10):
+            assert qs.run(until_event=ref.call("mp_get", i)) == f"v{i}"
+        assert manager.recoveries == {"lineage": 1}
+        assert log.replayed == 10
+        assert manager.convergence_errors == []
+
+    def test_lineage_requires_log(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.RESTART)
+        with pytest.raises(ValueError):
+            manager.protect(ref, RecoveryPolicy.LINEAGE)
+
+
+class TestTransparentRetry:
+    def test_caller_survives_the_crash_window(self):
+        """A put issued while the callee is lost blocks, retries, and
+        lands on the recovered incarnation."""
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.REPLICATE)
+        qs.run(until=qs.sim.now + 0.03)
+        qs.runtime.fail_machine(qs.machines[0])
+        ev = ref.call("mp_put", 77, 1 * MiB, "during")
+        qs.run(until=qs.sim.now + 0.2)
+        assert ev.triggered and ev.ok
+        assert qs.run(until_event=ref.call("mp_get", 77)) == "during"
+        assert qs.metrics.counter("ft.call_retries").total >= 1
+
+    def test_uncovered_caller_fails_fast(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.NONE)
+        qs.runtime.fail_machine(qs.machines[0])
+        with pytest.raises(ProcletLost):
+            qs.run(until_event=ref.call("mp_get", 0))
+
+
+class TestPublicLostApi:
+    def test_is_lost_and_lost_proclets(self):
+        qs, manager, ref, _ = make_rig(RecoveryPolicy.NONE)
+        pid = ref.proclet_id
+        assert not qs.runtime.is_lost(pid)
+        assert list(qs.runtime.lost_proclets()) == []
+        qs.runtime.fail_machine(qs.machines[0])
+        assert qs.runtime.is_lost(pid)
+        assert pid in qs.runtime.lost_proclets()
