@@ -225,6 +225,119 @@ def scenario_timerstorm(quick: bool):
     return ops, sim
 
 
+def scenario_heartbeats(quick: bool):
+    """The heartbeat era: 1000 machines' probe loops plus churn.
+
+    A failure detector heartbeats a 1000-machine fleet every 2 ms while
+    a rolling failure walks machines through suspected -> dead ->
+    restored and a steady trickle of applications keeps arriving.  The
+    virtual timeline is almost all steady state — every probe round but
+    the one watching the currently-down machine answers "still fine" —
+    which is exactly what the incremental control plane prices: the
+    detector's watch set makes the no-news round O(down machines)
+    instead of O(fleet), the machine index answers each arrival's
+    placement argmax and the churn loop's eligible-machine listing
+    without linear scans, and the probe/ack timers live in the timer
+    wheel.  The per-machine local schedulers and the global rebalancer
+    are switched off so those subsystems' (kernel-independent) stat
+    sweeps don't drown the paths under measurement.  Uses only public
+    Quicksand API, so it runs unchanged on kernels that predate all
+    three.
+    """
+    from repro import (ClusterSpec, GiB, MachineSpec, Quicksand,
+                       QuicksandConfig)
+
+    machines = 250 if quick else 1000
+    seconds = 0.8 if quick else 3.0
+    spec = ClusterSpec(machines=[
+        MachineSpec(name=f"hb{i}", cores=float(8 << (i % 4)),
+                    dram_bytes=float((2 << (i % 4)) * GiB))
+        for i in range(machines)])
+    qs = Quicksand(spec, QuicksandConfig(enable_local_scheduler=False,
+                                         enable_global_scheduler=False,
+                                         enable_split_merge=False))
+    qs.enable_recovery()
+    sim = qs.sim
+    ops = 0
+
+    def churn():
+        # One machine down at a time, held past confirmation so the
+        # detector walks the full ALIVE -> SUSPECTED -> DEAD -> ALIVE
+        # cycle; 37 is coprime to the fleet sizes, so failures roll
+        # across the whole fleet instead of revisiting a clique.
+        nonlocal ops
+        k = 0
+        while True:
+            machine = qs.cluster.machines[(k * 37) % machines]
+            qs.runtime.fail_machine(machine)
+            ops += 1
+            yield sim.timeout(0.012)
+            qs.runtime.restore_machine(machine)
+            ops += 1
+            qs.eligible_machines()
+            ops += 1
+            k += 1
+            yield sim.timeout(0.008)
+
+    def arrivals():
+        nonlocal ops
+        while True:
+            qs.spawn_memory()
+            ops += 1
+            yield sim.timeout(0.005)
+
+    sim.process(churn())
+    sim.process(arrivals())
+    sim.run(until=seconds)
+    return ops, sim
+
+
+def scenario_thousand_machines(quick: bool):
+    """Placement churn at cluster scale.
+
+    Spawns and destroys proclets against a heterogeneous cluster (the
+    capacity spread keeps the load buckets populated the way a mixed
+    fleet's are) while the global scheduler rebalances on its normal
+    cadence.  Prices the control-plane scan paths — placement argmax,
+    eligible-machine listing, planned-demand accounting — which the
+    machine index turns from O(machines) linear scans into bucketed
+    lookups.  Uses only public Quicksand API, so it runs unchanged on
+    kernels that predate the index.
+    """
+    from repro import ClusterSpec, GiB, MachineSpec, Quicksand
+
+    machines = 250 if quick else 1000
+    rounds = 24 if quick else 48
+    spec = ClusterSpec(machines=[
+        MachineSpec(name=f"m{i}", cores=float(8 << (i % 4)),
+                    dram_bytes=float((2 << (i % 4)) * GiB))
+        for i in range(machines)])
+    qs = Quicksand(spec)
+    sim = qs.sim
+    ops = 0
+
+    def driver():
+        nonlocal ops
+        live = deque()
+        for _ in range(rounds):
+            for _ in range(6):
+                live.append(qs.spawn_memory())
+                ops += 1
+            for _ in range(2):
+                live.append(qs.spawn_compute(parallelism=2))
+                ops += 1
+            while len(live) > 48:
+                qs.runtime.destroy(live.popleft())
+                ops += 1
+            qs.eligible_machines()
+            ops += 1
+            yield sim.timeout(0.002)
+
+    p = sim.process(driver())
+    sim.run(until_event=p)
+    return ops, sim
+
+
 class _ExecStats:
     """Adapts an exec-engine report to the (ops, sim)-shaped harness:
     merged worker kernel counters stand in for one simulator's."""
@@ -273,6 +386,8 @@ SCENARIOS = {
     "fairshare": scenario_fairshare,
     "priostack": scenario_priostack,
     "timerstorm": scenario_timerstorm,
+    "heartbeats": scenario_heartbeats,
+    "thousand-machines": scenario_thousand_machines,
     "parallel-sweep": scenario_parallel_sweep,
 }
 

@@ -40,6 +40,10 @@ class Memory:
             if metrics else None
         # (threshold, callback) pairs fired on upward crossings
         self._watermarks: List[Tuple[float, Callable[["Memory"], None]]] = []
+        # unconditional change listeners (machine-index rebucketing);
+        # fired before watermark callbacks so any placement query made
+        # from a watermark handler sees up-to-date buckets
+        self._listeners: List[Callable[["Memory"], None]] = []
         self.peak_used = 0.0
         #: Bytes reserved by fault injection (pressure-spike ballast),
         #: tracked separately so accounting invariants can subtract it.
@@ -69,6 +73,8 @@ class Memory:
         self.peak_used = max(self.peak_used, self.used)
         if self._gauge is not None:
             self._gauge.set(self.sim.now, self.used)
+        for fn in self._listeners:
+            fn(self)
         after = self.pressure
         for threshold, cb in self._watermarks:
             if before < threshold <= after:
@@ -86,6 +92,8 @@ class Memory:
         self.used = max(0.0, self.used - nbytes)
         if self._gauge is not None:
             self._gauge.set(self.sim.now, self.used)
+        for fn in self._listeners:
+            fn(self)
 
     # -- fault injection -----------------------------------------------------
     def set_ballast(self, nbytes: float) -> float:
@@ -114,8 +122,14 @@ class Memory:
         self.ballast = 0.0
         if self._gauge is not None:
             self._gauge.set(self.sim.now, 0.0)
+        for fn in self._listeners:
+            fn(self)
 
     # -- signals -----------------------------------------------------------------
+    def add_listener(self, fn: Callable[["Memory"], None]) -> None:
+        """Invoke *fn* after every ledger change (reserve/release/wipe)."""
+        self._listeners.append(fn)
+
     def add_watermark(self, threshold: float,
                       callback: Callable[["Memory"], None]) -> None:
         """Invoke *callback* whenever pressure crosses *threshold* upward."""

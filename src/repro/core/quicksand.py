@@ -37,6 +37,7 @@ from .scheduler import (
     AffinityTracker,
     GlobalScheduler,
     LocalScheduler,
+    MachineIndex,
     PlacementPolicy,
 )
 from .storageproclet import StorageProclet
@@ -57,6 +58,15 @@ class Quicksand:
         self.metrics = self.cluster.metrics
         self.placement = PlacementPolicy(self.cluster)
         self.placement.attach_runtime(self.runtime)
+        #: Bucketed machine views (free DRAM, planned compute, eligible
+        #: list) so placement argmax and scheduler scans stay O(buckets)
+        #: rather than O(machines) at thousand-machine scale.
+        self.machine_index = MachineIndex(self.cluster, self.runtime)
+        self.placement.index = self.machine_index
+        self.runtime.locator.add_listener(
+            self.machine_index.on_location_change)
+        self.runtime.on_machine_failure(self.machine_index.on_machine_failure)
+        self.runtime.on_machine_restore(self.machine_index.on_machine_restore)
         self.affinity = AffinityTracker(self.sim)
         self.runtime.on_invocation(self.affinity.record)
         self.local_schedulers: List[LocalScheduler] = []
@@ -98,14 +108,20 @@ class Quicksand:
         manager = RecoveryManager(self, config or RecoveryConfig())
         self.recovery = manager
         self.placement.health = manager.eligible
+        # The detector's health verdicts only change on suspect/confirm/
+        # alive transitions, so the eligible-machine cache can subscribe
+        # to exactly those and stay valid in between.
+        self.machine_index.track_health(manager.eligible)
+        detector = manager.detector
+        detector.on_suspect(self.machine_index.invalidate_eligible)
+        detector.on_confirm(self.machine_index.invalidate_eligible)
+        detector.on_alive(self.machine_index.invalidate_eligible)
         return manager
 
     def eligible_machines(self) -> List[Machine]:
         """Machines placement may target: up, and (with recovery
         enabled) not currently suspected by the failure detector."""
-        health = self.placement.health
-        return [m for m in self.cluster.machines
-                if m.up and (health is None or health(m))]
+        return self.machine_index.eligible(self.placement.health)
 
     # -- spawning resource proclets --------------------------------------------
     def spawn(self, proclet: Proclet, machine: Optional[Machine] = None,
@@ -191,6 +207,14 @@ class Quicksand:
         gate = self._block(src)
         yield self.sim.timeout(self.config.split_overhead)
 
+        if src.object_count < 2:
+            # The decision went stale while we waited: deletes or a
+            # competing split shrank the shard below two keys.  Abort
+            # rather than split an un-splittable proclet.
+            self._unblock(src, gate)
+            if tr is not None:
+                tr.end(span, outcome="stale")
+            return None
         split_key = src.split_point()
         items, nbytes = src.extract_upper(split_key)
         new = MemoryProclet()

@@ -5,12 +5,14 @@ from .affinity import AffinityTracker
 from .binpack import Move, PackItem, pack_quality, plan_packing
 from .global_ import GlobalScheduler
 from .local import LocalScheduler
+from .machine_index import MachineIndex
 from .placement import PlacementPolicy
 
 __all__ = [
     "AffinityTracker",
     "GlobalScheduler",
     "LocalScheduler",
+    "MachineIndex",
     "Move",
     "PackItem",
     "PlacementPolicy",

@@ -32,6 +32,12 @@ class PlacementPolicy:
         #: placements, even while ``machine.up`` still reads True to the
         #: data plane.
         self.health: Optional[Callable[[Machine], bool]] = None
+        #: Optional :class:`MachineIndex` (wired by ``Quicksand``): when
+        #: present, the memory/compute argmax queries run over log2
+        #: buckets instead of a full linear scan, and planned compute
+        #: demand comes from the index's exact cache.  ``None`` keeps
+        #: the original scans (standalone-policy tests, partial wiring).
+        self.index = None
 
     def attach_runtime(self, runtime) -> None:
         """Give the policy visibility into hosted proclets (for planned
@@ -46,6 +52,8 @@ class PlacementPolicy:
                         exclude: Iterable[Machine] = ()) -> Optional[Machine]:
         """Machine with the most free DRAM that fits *nbytes*."""
         skip = set(exclude)
+        if self.index is not None:
+            return self.index.best_for_memory(nbytes, skip, self._healthy)
         best, best_free = None, -1.0
         for m in self.cluster.machines:
             if m in skip or not self._healthy(m):
@@ -70,24 +78,40 @@ class PlacementPolicy:
         enough CPU resources in the cluster".
         """
         skip = set(exclude)
-        best, best_free = None, 0.0
-        for m in self.cluster.machines:
-            if m in skip or not self._healthy(m):
-                continue
-            free = m.cpu.free_cores(priority)
-            # Also subtract *planned* demand: compute proclets already
-            # hosted here will use their worker threads even if they are
-            # momentarily idle — without this, a burst of spawns lands
-            # every member on the same machine.
-            free = min(free, m.cpu.cores - self._planned_demand(m))
-            if free > best_free:
-                best, best_free = m, free
+        if self.index is not None:
+            # Reading free_cores flushes a dirty fluid scheduler, and a
+            # flush schedules events (seq numbers!), so the indexed path
+            # must replicate the linear scan's flush visit order exactly
+            # before the bucket scan does its pure reads.
+            for m in self.cluster.machines:
+                if m in skip or not self._healthy(m):
+                    continue
+                sched = m.cpu.sched
+                if sched._dirty:
+                    sched._flush()
+            best, best_free = self.index.best_for_compute(
+                priority, skip, self._healthy)
+        else:
+            best, best_free = None, 0.0
+            for m in self.cluster.machines:
+                if m in skip or not self._healthy(m):
+                    continue
+                free = m.cpu.free_cores(priority)
+                # Also subtract *planned* demand: compute proclets
+                # already hosted here will use their worker threads even
+                # if they are momentarily idle — without this, a burst
+                # of spawns lands every member on the same machine.
+                free = min(free, m.cpu.cores - self._planned_demand(m))
+                if free > best_free:
+                    best, best_free = m, free
         # Require at least half a core of headroom to be worth it.
         if best is not None and best_free < min(0.5, threads * 0.5):
             return None
         return best
 
     def _planned_demand(self, machine: Machine) -> float:
+        if self.index is not None:
+            return self.index.planned(machine)
         if self.runtime is None:
             return 0.0
         total = 0.0

@@ -34,7 +34,8 @@ from .spec import RunSpec, canonical
 
 #: Kernel counter names shipped from workers (stable order for merging).
 KERNEL_KEYS = ("events", "cancellations", "tombstones_popped",
-               "compactions")
+               "compactions", "wheel_inserts", "wheel_cancels",
+               "overflow_to_heap", "cascades")
 
 
 def results_digest(values: Iterable[Any]) -> str:

@@ -15,12 +15,23 @@ machine snaps back to ``ALIVE`` on its next good heartbeat.
 Heartbeats are modeled as control-plane probes: they advance virtual
 time but consume no NIC bandwidth, matching how the simulator treats
 other control traffic (scheduler stat collection, split decisions).
+
+Probing an up machine that is already ``ALIVE`` with zero misses is a
+no-op, so at 1000 machines the naive every-machine sweep spends almost
+all of its time confirming what it already knows.  When the detector is
+given a runtime (the :class:`~repro.ft.RecoveryManager` wires this), it
+keeps a *watch set* instead: machine ids enter it from the runtime's
+failure hook and leave once a probe finds them up and ``ALIVE`` again,
+so each tick probes only machines whose answer could differ from last
+tick's.  The watch set is iterated in machine-id order — the same
+relative order the full sweep visits them — so transitions, listener
+calls, and metrics fire identically either way.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Generator, List
+from typing import Callable, Dict, Generator, List, Optional, Set
 
 from .config import RecoveryConfig
 
@@ -35,11 +46,20 @@ class FailureDetector:
     """Heartbeat/timeout failure detector over a simulated cluster."""
 
     def __init__(self, cluster, config: RecoveryConfig = RecoveryConfig(),
-                 metrics=None):
+                 metrics=None, runtime=None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = config
         self.metrics = metrics
+        #: Watch set of machine ids whose next probe could do something
+        #: (down, or up but not yet back to ALIVE).  ``None`` without a
+        #: runtime to hook: failures then only surface via the full
+        #: sweep, so every tick must probe every machine.
+        self._watch: Optional[Set[int]] = None
+        if runtime is not None:
+            self._watch = {m.id for m in cluster.machines if not m.up}
+            self._by_id = {m.id: m for m in cluster.machines}
+            runtime.on_machine_failure(self._note_failure)
         self._missed: Dict[int, int] = {}       # machine id -> misses
         self._state: Dict[int, MachineHealth] = {}
         self._down_since: Dict[int, float] = {}
@@ -81,11 +101,30 @@ class FailureDetector:
         self._alive_listeners.append(fn)
 
     # -- the probe loop --------------------------------------------------------
+    def _note_failure(self, machine, _lost=None) -> None:
+        self._watch.add(machine.id)
+
     def _loop(self) -> Generator:
+        timeout = self.sim.timeout
+        interval = self.config.heartbeat_interval
+        watch = self._watch
         while True:
-            yield self.sim.timeout(self.config.heartbeat_interval)
-            for machine in self.cluster.machines:
+            yield timeout(interval)
+            if watch is None:
+                for machine in self.cluster.machines:
+                    self._probe(machine)
+                continue
+            if not watch:
+                continue
+            # Machine-id order == cluster order: transitions fire in the
+            # same relative order the full sweep would produce.
+            for mid in sorted(watch):
+                machine = self._by_id[mid]
                 self._probe(machine)
+                if machine.up:
+                    # Probed up: now ALIVE with zero misses — the state
+                    # the sweep's no-op branch maintains for everyone.
+                    watch.discard(mid)
 
     def _probe(self, machine) -> None:
         mid = machine.id

@@ -88,7 +88,8 @@ class RecoveryManager:
         self.metrics = qs.metrics
         self.config = config
         self.detector = FailureDetector(qs.cluster, config,
-                                        metrics=qs.metrics)
+                                        metrics=qs.metrics,
+                                        runtime=qs.runtime)
         self._specs: Dict[int, _Protection] = {}
         # Crash bookkeeping, filled synchronously at fail_machine time:
         self._corpses: Dict[int, Proclet] = {}

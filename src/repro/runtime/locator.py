@@ -11,9 +11,13 @@ staleness is resolved lazily on the next call, exactly once per
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster import Machine
+
+#: Location-change listener: ``fn(proclet_id, src, dst)`` with ``src``
+#: None on initial placement and ``dst`` None on removal.
+LocationListener = Callable[[int, Optional[Machine], Optional[Machine]], None]
 
 
 class Locator:
@@ -25,6 +29,12 @@ class Locator:
         # (caller_machine, proclet_id) -> believed location
         self._caches: Dict[Tuple[Machine, int], Machine] = {}
         self.forwarding_hops = 0
+        self._listeners: List[LocationListener] = []
+
+    def add_listener(self, fn: LocationListener) -> None:
+        """Observe every authoritative-table change (place/move/remove).
+        The machine index uses this to keep planned-demand exact."""
+        self._listeners.append(fn)
 
     def place(self, proclet_id: int, machine: Machine) -> None:
         """Record the initial placement of a proclet."""
@@ -32,6 +42,8 @@ class Locator:
             raise ValueError(f"proclet #{proclet_id} already placed")
         self._table[proclet_id] = machine
         self._by_machine.setdefault(machine, set()).add(proclet_id)
+        for fn in self._listeners:
+            fn(proclet_id, None, machine)
 
     def move(self, proclet_id: int, dst: Machine) -> None:
         """Update the mapping after a migration."""
@@ -39,6 +51,8 @@ class Locator:
         self._by_machine[src].discard(proclet_id)
         self._table[proclet_id] = dst
         self._by_machine.setdefault(dst, set()).add(proclet_id)
+        for fn in self._listeners:
+            fn(proclet_id, src, dst)
 
     def remove(self, proclet_id: int) -> None:
         machine = self._table.pop(proclet_id)
@@ -47,6 +61,8 @@ class Locator:
             key: loc for key, loc in self._caches.items()
             if key[1] != proclet_id
         }
+        for fn in self._listeners:
+            fn(proclet_id, machine, None)
 
     def lookup(self, proclet_id: int) -> Machine:
         return self._table[proclet_id]

@@ -62,6 +62,9 @@ class NuRuntime:
         #: Called as fn(machine, lost_proclets) after fail_machine has
         #: finished tearing a machine down (recovery bookkeeping hook).
         self._failure_listeners: List[Callable] = []
+        #: Called as fn(machine) after restore_machine brings a crashed
+        #: machine back (placement-index rebucketing hook).
+        self._restore_listeners: List[Callable] = []
 
     # -- lifecycle ----------------------------------------------------------
     def spawn(self, proclet: Proclet, machine: Machine,
@@ -414,6 +417,8 @@ class NuRuntime:
         if self.metrics is not None:
             self.metrics.count("runtime.machine_restores")
         self.tracer.emit("failure", f"machine {machine.name} restored")
+        for listener in self._restore_listeners:
+            listener(machine)
 
     # -- heap-change notifications (split/merge controller hook) -----------------
     def on_heap_change(self, fn: Callable[[Proclet], None]) -> None:
@@ -427,6 +432,11 @@ class NuRuntime:
         """Subscribe ``fn(machine, lost_proclets)`` to machine crashes
         (called synchronously at the end of :meth:`fail_machine`)."""
         self._failure_listeners.append(fn)
+
+    def on_machine_restore(self, fn: Callable) -> None:
+        """Subscribe ``fn(machine)`` to machine restores (called
+        synchronously at the end of :meth:`restore_machine`)."""
+        self._restore_listeners.append(fn)
 
     def _notify_heap_change(self, proclet: Proclet) -> None:
         for fn in self._heap_listeners:

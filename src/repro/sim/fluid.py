@@ -32,18 +32,26 @@ happens
 
 Because no virtual time can pass between a mutation and its flush, the
 deferred water-fill sees exactly the state an eager one would have, and
-simulated timelines are unchanged.  Aggregates (``load``, per-priority
-rate sums, ``demand_total``) are maintained as caches so placement
-policies and metrics observers read them in O(#priorities) or O(1)
-rather than O(#items).  Superseded completion timers are truly cancelled
-on the simulator heap (see :meth:`Simulator.cancel`) instead of being
-left to fire as no-ops.
+simulated timelines are unchanged.  The flush itself is *per-class
+incremental*: mutations record which priority classes they touched, and
+the reassignment recomputes only classes that are dirty or whose
+entering capacity is not bit-identical to the cached value from their
+last fill — an untouched class reuses its cached rates and per-class
+sum outright, which is exact because a fill is a pure function of the
+member list and the entering capacity.  Aggregates (``load``,
+per-priority rate sums, ``demand_total``) are maintained as caches so
+placement policies and metrics observers read them in O(#priorities) or
+O(1) rather than O(#items), and completion timers are re-armed from
+per-class candidate lists instead of a full item scan.  Superseded
+completion timers are truly cancelled on the simulator queue (see
+:meth:`Simulator.cancel`) instead of being left to fire as no-ops.
+See ``docs/kernel.md`` for the exactness argument.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .errors import UnboundResource
 from .events import Event
@@ -138,15 +146,28 @@ class FluidScheduler:
         self.sim = sim
         self.name = name
         self._capacity = float(capacity)
-        self._items: List[FluidItem] = []
+        # Insertion-ordered dicts used as ordered sets: iteration is
+        # submission order (what the fairness and settle accounting
+        # depend on) while detach of an arbitrary item — the proclet
+        # churn hot path — is O(1) instead of a list scan.
+        self._items: Dict[FluidItem, None] = {}
         # Persistent priority buckets; each bucket preserves _items order.
-        self._buckets: Dict[int, List[FluidItem]] = {}
+        self._buckets: Dict[int, Dict[FluidItem, None]] = {}
         self._prio_order: List[int] = []
         self._last_update = sim.now
         # Cached aggregates, valid whenever the scheduler is clean.
         self._load = 0.0
         self._demand_total = 0.0
         self._rate_sum: Dict[int, float] = {}
+        # Incremental water-fill state: classes whose demand/membership
+        # changed since the last flush, the capacity that entered each
+        # class at its last recompute, and each class's completion-ETA
+        # candidates (items that had service and finite work then).  A
+        # class whose inputs are bit-identical to its cached fill is
+        # skipped wholesale by _reassign.
+        self._dirty_classes: set = set()
+        self._cap_in: Dict[int, float] = {}
+        self._eta_candidates: Dict[int, List[FluidItem]] = {}
         # Coalesced-reassignment state.
         self._dirty = False
         self._structure_changed = False
@@ -249,10 +270,14 @@ class FluidScheduler:
         if not self._items:
             return
         self._settle()
-        items, self._items = self._items, []
+        items, self._items = list(self._items), {}
         self._buckets.clear()
         self._prio_order = []
         self._demand_total = 0.0
+        self._dirty_classes.clear()
+        self._cap_in.clear()
+        self._rate_sum.clear()
+        self._eta_candidates.clear()
         self._structure_changed = True
         for item in items:
             item._sched = None
@@ -268,6 +293,7 @@ class FluidScheduler:
             raise ValueError(f"demand must be positive: {demand}")
         self._demand_total += float(demand) - item.demand
         item.demand = float(demand)
+        self._dirty_classes.add(item.priority)
         self._mark_dirty()
 
     def set_priority(self, item: FluidItem, priority: int) -> None:
@@ -278,16 +304,23 @@ class FluidScheduler:
         old = item.priority
         item.priority = int(priority)
         if item.priority != old:
-            self._buckets[old].remove(item)
+            del self._buckets[old][item]
             if not self._buckets[old]:
                 del self._buckets[old]
+                self._rate_sum.pop(old, None)
+                self._cap_in.pop(old, None)
+                self._eta_candidates.pop(old, None)
+            else:
+                self._dirty_classes.add(old)
             # Rebuild the destination bucket from _items so the bucket
             # keeps submission order (identical to the eager engine's
             # rebuild-from-scratch behaviour).
-            self._buckets[item.priority] = [
-                it for it in self._items if it.priority == item.priority
-            ]
+            self._buckets[item.priority] = {
+                it: None for it in self._items
+                if it.priority == item.priority
+            }
             self._prio_order = sorted(self._buckets)
+            self._dirty_classes.add(item.priority)
             self._structure_changed = True
         self._mark_dirty()
 
@@ -344,24 +377,30 @@ class FluidScheduler:
 
     # -- engine ------------------------------------------------------------------
     def _insert(self, item: FluidItem) -> None:
-        self._items.append(item)
+        self._items[item] = None
         bucket = self._buckets.get(item.priority)
         if bucket is None:
-            self._buckets[item.priority] = [item]
+            self._buckets[item.priority] = {item: None}
             self._prio_order = sorted(self._buckets)
         else:
-            bucket.append(item)
+            bucket[item] = None
         self._demand_total += item.demand
+        self._dirty_classes.add(item.priority)
         self._structure_changed = True
         self._mark_dirty()
 
     def _remove(self, item: FluidItem) -> None:
-        self._items.remove(item)
+        del self._items[item]
         bucket = self._buckets[item.priority]
-        bucket.remove(item)
+        del bucket[item]
         if not bucket:
             del self._buckets[item.priority]
             self._prio_order = sorted(self._buckets)
+            self._rate_sum.pop(item.priority, None)
+            self._cap_in.pop(item.priority, None)
+            self._eta_candidates.pop(item.priority, None)
+        else:
+            self._dirty_classes.add(item.priority)
         self._demand_total -= item.demand
         if not self._items:
             self._demand_total = 0.0  # clamp accumulated float drift
@@ -423,15 +462,40 @@ class FluidScheduler:
         self.served_integral += total_rate * elapsed
 
     def _reassign(self) -> None:
-        """Recompute rates; reschedule completion and notify observers
-        only when something actually changed."""
+        """Recompute rates for classes whose inputs changed; reschedule
+        completion and notify observers only when something actually
+        changed.
+
+        Incremental per-class water-filling: a class is recomputed only
+        when it is in the dirty set (membership or demand changed) or
+        when the capacity entering it is not bit-identical to the value
+        cached at its last recompute.  Because a class's fill is a pure
+        function of its member list (order and demands) and the entering
+        capacity, reusing the cached fill produces exactly the floats a
+        recompute would — aggregates are re-accumulated in priority
+        order from the cached per-class sums, so ``load`` and
+        ``free_capacity`` are bit-identical to the eager engine's.
+        """
         remaining_cap = self._capacity
         changed = self._structure_changed
         self._structure_changed = False
+        dirty = self._dirty_classes
+        if dirty:
+            self._dirty_classes = set()
         load = 0.0
         rate_sum = self._rate_sum
-        rate_sum.clear()
+        cap_in = self._cap_in
+        recomputed: List[int] = []
         for prio in self._prio_order:
+            if prio not in dirty and cap_in.get(prio) == remaining_cap:
+                # Untouched class with bit-identical entering capacity:
+                # the cached fill is exactly what a recompute would give.
+                used = rate_sum[prio]
+                load += used
+                remaining_cap -= used
+                continue
+            cap_in[prio] = remaining_cap
+            recomputed.append(prio)
             group = self._buckets[prio]
             if remaining_cap <= _EPS:
                 for it in group:
@@ -439,10 +503,15 @@ class FluidScheduler:
                         it._rate = 0.0
                         changed = True
                 rate_sum[prio] = 0.0
+                self._eta_candidates[prio] = []
                 continue
             used, group_changed = self._water_fill(group, remaining_cap)
             changed |= group_changed
             rate_sum[prio] = used
+            self._eta_candidates[prio] = [
+                it for it in group
+                if it._rate > _EPS and it.remaining is not math.inf
+            ]
             load += used
             remaining_cap -= used
         self._load = load
@@ -454,9 +523,13 @@ class FluidScheduler:
             return
 
         now = self.sim.now
-        for it in self._items:
-            if it._rate > _EPS and it.started_at is None:
-                it.started_at = now
+        # Only a recomputed class can contain an item that just went
+        # from idle to served — reused classes' rates are untouched, and
+        # every earlier rate change already stamped its items.
+        for prio in recomputed:
+            for it in self._buckets.get(prio, ()):
+                if it._rate > _EPS and it.started_at is None:
+                    it.started_at = now
 
         tracer = self.sim.tracer
         if tracer is not None:
@@ -469,7 +542,7 @@ class FluidScheduler:
             obs(self)
 
     @staticmethod
-    def _water_fill(group: List[FluidItem], capacity: float):
+    def _water_fill(group: Iterable[FluidItem], capacity: float):
         """Max-min fair allocation with per-item demand caps.
 
         Returns ``(used, changed)``: the capacity actually consumed and
@@ -491,14 +564,25 @@ class FluidScheduler:
         return used, changed
 
     def _schedule_next_completion(self) -> None:
+        """Arm the completion timer from the per-class candidate lists.
+
+        Candidates are the items that had service and finite work at
+        their class's last recompute; rates cannot change without a
+        recompute and settling only shrinks ``remaining``, so the lists
+        stay exact for reused classes.  The ETA itself is always derived
+        from the items' *live* remaining/rate (a cached absolute
+        deadline would not be bit-identical in floating point).
+        """
         if self._timer is not None:
             self.sim.cancel(self._timer)
             self._timer = None
         eta = math.inf
-        for it in self._items:
-            rate = it._rate
-            if rate > _EPS and it.remaining is not math.inf:
-                eta = min(eta, it.remaining / rate)
+        candidates = self._eta_candidates
+        for prio in self._prio_order:
+            for it in candidates.get(prio, ()):
+                rate = it._rate
+                if rate > _EPS and it.remaining is not math.inf:
+                    eta = min(eta, it.remaining / rate)
         if eta is math.inf:
             return
         self._timer = self.sim.call_in(max(0.0, eta), self._on_timer)

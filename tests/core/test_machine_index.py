@@ -1,0 +1,132 @@
+"""MachineIndex: bucketed placement queries must equal linear scans.
+
+The index trades linear scans for log2 buckets and event-driven caches;
+every query here is cross-checked against the brute-force scan it
+replaces — same winner, same smallest-id tie-break.
+"""
+
+import pytest
+
+from repro.core.scheduler.machine_index import MachineIndex, _bucket_key
+
+from ..conftest import make_qs
+from repro import MachineSpec
+from repro.units import GiB
+
+
+def _fleet(n=8):
+    return [MachineSpec(name=f"m{i}", cores=float(4 << (i % 3)),
+                        dram_bytes=float((1 << (i % 3)) * GiB))
+            for i in range(n)]
+
+
+@pytest.fixture
+def qs():
+    return make_qs(machines=_fleet(),
+                   enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+def _brute_best_memory(machines, nbytes, healthy):
+    best = None
+    for m in machines:  # cluster order: first-wins == smallest id
+        if not healthy(m):
+            continue
+        free = m.memory.free
+        if free < nbytes:
+            continue
+        if best is None or free > best.memory.free:
+            best = m
+    return best
+
+
+def _brute_planned(qs, machine):
+    total = 0.0
+    for pid in qs.runtime.locator.proclets_on(machine):
+        p = qs.runtime._proclets.get(pid)
+        if p is not None:
+            total += getattr(p, "parallelism", 0) or 0
+    return total
+
+
+class TestBucketKey:
+    def test_ranges_are_disjoint_and_exact(self):
+        for e in range(-4, 40):
+            lo, hi = 2.0 ** (e - 1), 2.0 ** e
+            assert _bucket_key(lo) == e
+            assert _bucket_key(hi * 0.999999) == e
+
+    def test_nonpositive_values_sink_below_everything(self):
+        assert _bucket_key(0.0) < _bucket_key(1e-30)
+        assert _bucket_key(-5.0) == _bucket_key(0.0)
+
+
+class TestMemoryQueries:
+    def test_matches_linear_scan_under_churn(self, qs):
+        index = qs.machine_index
+        healthy = lambda m: m.up
+        refs = []
+        for i in range(12):
+            refs.append(qs.spawn_memory())
+            qs.run(until=qs.sim.now + 1e-4)
+            want = _brute_best_memory(qs.machines, 64 * 1024, healthy)
+            got = index.best_for_memory(64 * 1024, set(), healthy)
+            assert got is want
+        for ref in refs[::2]:
+            qs.runtime.destroy(ref)
+        qs.run(until=qs.sim.now + 1e-3)
+        want = _brute_best_memory(qs.machines, 64 * 1024, healthy)
+        assert index.best_for_memory(64 * 1024, set(), healthy) is want
+
+    def test_skip_and_health_filters_apply(self, qs):
+        index = qs.machine_index
+        healthy = lambda m: m.up
+        all_m = qs.machines
+        first = index.best_for_memory(1, set(), healthy)
+        second = index.best_for_memory(1, {first}, healthy)
+        assert second is not first
+        # Brute force with the same skip agrees.
+        want = _brute_best_memory([m for m in all_m if m is not first],
+                                  1, healthy)
+        assert second is want
+
+    def test_failed_machine_is_not_offered(self, qs):
+        index = qs.machine_index
+        healthy = lambda m: m.up
+        victim = index.best_for_memory(1, set(), healthy)
+        qs.runtime.fail_machine(victim)
+        assert index.best_for_memory(1, set(), healthy) is not victim
+
+
+class TestPlannedDemand:
+    def test_tracks_spawn_and_destroy_exactly(self, qs):
+        index = qs.machine_index
+        refs = [qs.spawn_compute(parallelism=2) for _ in range(6)]
+        qs.run(until=qs.sim.now + 1e-3)
+        for m in qs.machines:
+            assert index.planned(m) == _brute_planned(qs, m)
+        for ref in refs[:3]:
+            qs.runtime.destroy(ref)
+        qs.run(until=qs.sim.now + 1e-3)
+        for m in qs.machines:
+            assert index.planned(m) == _brute_planned(qs, m)
+
+
+class TestEligibleCache:
+    def test_cache_invalidated_by_failure_and_restore(self, qs):
+        n = len(qs.machines)
+        assert len(qs.eligible_machines()) == n
+        victim = qs.machines[0]
+        qs.runtime.fail_machine(victim)
+        assert victim not in qs.eligible_machines()
+        qs.runtime.restore_machine(victim)
+        assert len(qs.eligible_machines()) == n
+
+    def test_untracked_health_bypasses_cache(self, qs):
+        index = qs.machine_index
+        banned = qs.machines[0]
+        ad_hoc = lambda m: m is not banned
+        got = index.eligible(ad_hoc)
+        assert banned not in got
+        assert len(got) == len(qs.machines) - 1

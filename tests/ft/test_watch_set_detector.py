@@ -1,0 +1,89 @@
+"""Watch-set failure detector: equivalence with the full sweep.
+
+A detector constructed with a runtime probes only watched machines; one
+without sweeps the whole fleet every tick.  Both observe the same
+cluster here, so every transition (suspect / confirm / back-alive) must
+fire at identical virtual times, in identical order.
+"""
+
+import pytest
+
+from repro.ft import FailureDetector, MachineHealth, RecoveryConfig
+
+from ..conftest import make_qs
+
+
+CFG = RecoveryConfig(heartbeat_interval=1e-3, suspect_after=2,
+                     confirm_after=4)
+
+
+@pytest.fixture
+def qs():
+    return make_qs(enable_local_scheduler=False,
+                   enable_global_scheduler=False,
+                   enable_split_merge=False)
+
+
+def _timeline(det, log):
+    det.on_suspect(lambda m: log.append((det.sim.now, "suspect", m.id)))
+    det.on_confirm(lambda m: log.append((det.sim.now, "confirm", m.id)))
+    det.on_alive(lambda m, prev: log.append((det.sim.now, "alive", m.id)))
+
+
+class TestWatchSetEquivalence:
+    def test_transitions_match_full_sweep(self, qs):
+        watched = FailureDetector(qs.cluster, CFG, runtime=qs.runtime)
+        swept = FailureDetector(qs.cluster, CFG)
+        logs = ([], [])
+        _timeline(watched, logs[0])
+        _timeline(swept, logs[1])
+
+        def chaos():
+            machines = qs.machines
+            yield qs.sim.timeout(0.5e-3)
+            qs.runtime.fail_machine(machines[1])
+            yield qs.sim.timeout(2e-3)
+            qs.runtime.fail_machine(machines[0])
+            # machines[1] comes back while merely suspected.
+            yield qs.sim.timeout(1.2e-3)
+            qs.runtime.restore_machine(machines[1])
+            # machines[0] dies for good, then returns.
+            yield qs.sim.timeout(8e-3)
+            qs.runtime.restore_machine(machines[0])
+
+        qs.sim.process(chaos())
+        qs.run(until=0.05)
+        assert logs[0] == logs[1]
+        assert logs[0]  # the scenario produced transitions
+        for m in qs.machines:
+            assert watched.state(m) is swept.state(m)
+
+    def test_idle_fleet_is_never_probed(self, qs):
+        det = FailureDetector(qs.cluster, CFG, runtime=qs.runtime)
+        qs.run(until=0.05)
+        # No failures: the watch set stays empty and no probe state
+        # accumulates.
+        assert det._watch == set()
+        assert det._missed == {}
+        for m in qs.machines:
+            assert det.state(m) is MachineHealth.ALIVE
+
+    def test_machine_leaves_watch_once_alive_again(self, qs):
+        det = FailureDetector(qs.cluster, CFG, runtime=qs.runtime)
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        qs.run(until=2.5e-3)
+        assert m0.id in det._watch
+        assert det.state(m0) is MachineHealth.SUSPECTED
+        qs.runtime.restore_machine(m0)
+        qs.run(until=5e-3)
+        assert det.state(m0) is MachineHealth.ALIVE
+        assert m0.id not in det._watch
+
+    def test_machine_down_at_construction_is_watched(self, qs):
+        m0 = qs.machines[0]
+        qs.runtime.fail_machine(m0)
+        det = FailureDetector(qs.cluster, CFG, runtime=qs.runtime)
+        assert m0.id in det._watch
+        qs.run(until=0.02)
+        assert det.state(m0) is MachineHealth.DEAD

@@ -177,8 +177,12 @@ class TestHeapCompaction:
         sim.timeout(1.0)
         sim.cancel(sim.timeout(2.0))
         stats = sim.heap_stats()
+        # 1.0 s and 2.0 s are beyond the wheel window, so both inserts
+        # overflow to the heap.
         assert stats == {"queued": 1, "dead_entries": 1, "compactions": 0,
-                         "cancellations": 1, "tombstones_popped": 0}
+                         "cancellations": 1, "tombstones_popped": 0,
+                         "wheel_inserts": 0, "wheel_cancels": 0,
+                         "overflow_to_heap": 2, "cascades": 0}
 
     def test_repr_shows_heap_diagnostics(self, sim):
         sim.cancel(sim.timeout(1.0))

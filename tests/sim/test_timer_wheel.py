@@ -1,0 +1,131 @@
+"""Timer wheel: ordering equivalence with the pure heap, and counters.
+
+The wheel is a constant-factor optimization only — every test here pins
+the contract that routing an event through a wheel slot never changes
+*when* or in *what order* it fires relative to the heap-only kernel.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def _lcg(seed=12345):
+    """Deterministic pseudorandom floats in [0, 1) (no global RNG)."""
+    state = seed
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        yield (state >> 11) / float(1 << 53)
+
+
+def _storm(timer_wheel, n=400):
+    """Schedule a mix of sub-slot, in-window, and beyond-window timers
+    (some cancelled), and record the exact firing order."""
+    sim = Simulator(timer_wheel=timer_wheel)
+    rnd = _lcg()
+    fired = []
+    events = []
+    for i in range(n):
+        r = next(rnd)
+        if r < 0.3:
+            delay = next(rnd) * 5e-4          # sub-slot / current-slot
+        elif r < 0.8:
+            delay = next(rnd) * 0.9           # inside the wheel window
+        else:
+            delay = 1.0 + next(rnd) * 3.0     # beyond the window
+        ev = sim.timeout(delay)
+        ev.subscribe(lambda _e, i=i: fired.append((sim.now, i)))
+        events.append(ev)
+    for i in range(0, n, 7):
+        sim.cancel(events[i])
+    sim.run()
+    return fired, sim
+
+
+class TestOrderingEquivalence:
+    def test_wheel_and_heap_fire_identically(self):
+        wheel_fired, wheel_sim = _storm(True)
+        heap_fired, heap_sim = _storm(False)
+        assert wheel_fired == heap_fired
+        assert wheel_sim.now == heap_sim.now
+        assert wheel_sim.processed_events == heap_sim.processed_events
+
+    def test_wheel_actually_engaged(self):
+        _, sim = _storm(True)
+        stats = sim.heap_stats()
+        assert stats["wheel_inserts"] > 0
+        assert stats["cascades"] > 0
+        assert stats["overflow_to_heap"] > 0  # the beyond-window timers
+
+    def test_heap_only_kernel_reports_no_wheel_traffic(self):
+        _, sim = _storm(False)
+        stats = sim.heap_stats()
+        assert stats["wheel_inserts"] == 0
+        assert stats["wheel_cancels"] == 0
+        assert stats["overflow_to_heap"] == 0
+        assert stats["cascades"] == 0
+
+    def test_same_instant_respects_priority_then_seq(self):
+        """Ties at one timestamp break by (priority, seq) exactly as on
+        the heap, even when the entries meet in a wheel slot."""
+        order = []
+        for wheel in (True, False):
+            sim = Simulator(timer_wheel=wheel)
+            log = []
+            for i in range(20):
+                ev = sim.timeout(0.01)  # same slot, same instant
+                ev.subscribe(lambda _e, i=i: log.append(i))
+            sim.run()
+            order.append(log)
+        assert order[0] == order[1] == list(range(20))
+
+
+class TestWheelAccounting:
+    def test_cancelled_wheel_timer_never_fires(self):
+        sim = Simulator(timer_wheel=True)
+        fired = []
+        ev = sim.timeout(0.01)   # lands in a wheel slot
+        ev.subscribe(lambda _e: fired.append("no"))
+        assert sim.cancel(ev)
+        assert sim.heap_stats()["wheel_cancels"] == 1
+        sim.run()
+        assert fired == []
+        assert sim.queued == 0
+        assert sim.dead_entries == 0  # reclaimed by the slot drain
+
+    def test_queued_counts_wheel_residents(self):
+        sim = Simulator(timer_wheel=True)
+        sim.timeout(0.01)
+        sim.timeout(0.02)
+        sim.timeout(5.0)  # heap (beyond window)
+        assert sim.queued == 3
+
+    def test_peek_merges_wheel_and_heap(self):
+        sim = Simulator(timer_wheel=True)
+        sim.timeout(5.0)
+        assert sim.peek() == pytest.approx(5.0)
+        sim.timeout(0.01)
+        assert sim.peek() == pytest.approx(0.01)
+
+    def test_floor_advances_with_drains(self):
+        """After time passes, near-now timers route to the heap (their
+        slot is no longer strictly in the future) and still fire on
+        time."""
+        sim = Simulator(timer_wheel=True)
+        fired = []
+        def proc():
+            yield sim.timeout(0.5)
+            ev = sim.timeout(1e-5)  # sub-slot-width: heap path
+            ev.subscribe(lambda _e: fired.append(sim.now))
+            yield ev
+        sim.process(proc())
+        sim.run()
+        assert fired == [pytest.approx(0.5 + 1e-5)]
+
+    def test_step_dispatches_from_wheel(self):
+        sim = Simulator(timer_wheel=True)
+        fired = []
+        ev = sim.timeout(0.01)
+        ev.subscribe(lambda _e: fired.append(sim.now))
+        sim.step()
+        assert fired == [pytest.approx(0.01)]
