@@ -5,9 +5,10 @@ from .analytics import WordCountJob
 from .filler import FillerApp
 from .kvcache import ElasticCache
 from .phased import PhasedApp
-from .service import LatencyService
+from .service import CloneService, LatencyService
 
 __all__ = [
+    "CloneService",
     "ElasticCache",
     "FillerApp",
     "LatencyService",

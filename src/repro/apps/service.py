@@ -1,18 +1,27 @@
-"""A latency-critical request service (the HIGH-priority tenant).
+"""Latency-critical request services (the HIGH-priority tenants).
 
 Fig. 1's premise is that machines host latency-critical services whose
-idle cycles others should harvest *without hurting them*.  This app
-makes that claim measurable: Poisson request arrivals served at HIGH
-priority, with per-request latency recorded — run it with and without a
-filler underneath and compare the tail.
+idle cycles others should harvest *without hurting them*.
+:class:`LatencyService` makes that claim measurable on one machine:
+Poisson request arrivals served at HIGH priority, with per-request
+latency recorded — run it with and without a filler underneath and
+compare the tail.
+
+:class:`CloneService` scales the same open-loop workload to a *fleet*
+of PS servers and adds synchronized request cloning (clone-to-c with
+first-finished-wins cancellation), hedging, heterogeneous service-time
+distributions, and clone budgets — the workload half of the
+:mod:`repro.hedge` differential suite, built so its steady state is
+*exactly* the M/G/1-PS model the closed-form oracle predicts.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Sequence, Tuple
 
 from ..cluster import Machine, Priority
 from ..metrics import Summary
+from ..runtime.errors import MachineFailed
 from ..units import US
 
 
@@ -79,3 +88,212 @@ class LatencyService:
         return (f"<LatencyService {self.name!r} on {self.machine.name} "
                 f"rate={self.arrival_rate:g}/s "
                 f"load={self.offered_load:.2f} cores>")
+
+
+class CloneService:
+    """Open-loop request service over a fleet of PS servers with
+    synchronized request cloning.
+
+    The *machines* are partitioned into ``n / clone_factor`` groups.
+    Each Poisson arrival is routed (uniformly, seeded stream) to one
+    group and cloned to *every* server of that group with an iid
+    service-time draw per clone; the first clone to finish defines the
+    response time and the losers are cancelled on the spot — so each
+    server runs exactly the M/G/1-PS queue with min-of-c service times
+    that :mod:`repro.hedge.oracle` predicts in closed form.
+
+    Each request's work runs at *priority* with ``demand = cores`` on
+    its server, which under the fluid scheduler gives every resident
+    request an equal ``cores/k`` share: processor sharing, not an
+    approximation of it.
+
+    Options off the oracle's path (each documented in docs/cloning.md):
+
+    * ``hedge_after=t`` launches the sibling clones one at a time, t
+      virtual seconds apart, instead of all at once — the hedge timer
+      is cancelled through :meth:`Simulator.cancel` when the primary
+      wins, exercising the tombstone machinery at workload scale.
+    * ``clone_budget=k`` caps the fleet-wide number of *extra* clones
+      in flight; a request that cannot acquire budget degrades toward
+      an un-cloned call (``budget_denied`` counts the degradations).
+    * A clone stranded on a crashed machine fails without failing the
+      request while any sibling survives (cloning doubles as fault
+      tolerance); only requests losing *all* clones count as
+      ``failed_requests``.
+    """
+
+    def __init__(self, machines: Sequence[Machine], arrival_rate: float,
+                 service_dist, clone_factor: int = 1,
+                 hedge_after: Optional[float] = None,
+                 clone_budget: Optional[int] = None,
+                 priority: Priority = Priority.HIGH,
+                 name: str = "clones"):
+        if not machines:
+            raise ValueError("need at least one machine")
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if not isinstance(clone_factor, int) or clone_factor < 1:
+            raise ValueError(f"clone_factor must be a positive int, "
+                             f"got {clone_factor!r}")
+        if len(machines) % clone_factor != 0:
+            raise ValueError(
+                f"clone_factor {clone_factor} must divide the server "
+                f"count {len(machines)} (synchronized cloning)")
+        if hedge_after is not None and hedge_after <= 0:
+            raise ValueError("hedge_after must be positive")
+        if clone_budget is not None and clone_budget < 0:
+            raise ValueError("clone_budget must be >= 0")
+        self.machines = list(machines)
+        self.sim = machines[0].sim
+        self.arrival_rate = arrival_rate
+        self.service_dist = service_dist
+        self.clone_factor = clone_factor
+        self.hedge_after = hedge_after
+        self.clone_budget = clone_budget
+        self.priority = priority
+        self.name = name
+        c = clone_factor
+        self.groups = [self.machines[i * c:(i + 1) * c]
+                       for i in range(len(self.machines) // c)]
+        # Independent named streams so the arrival process, routing, and
+        # service draws stay decoupled across configurations.
+        self.rng_arrival = self.sim.random.stream(f"{name}.arrival")
+        self.rng_route = self.sim.random.stream(f"{name}.route")
+        self.rng_service = self.sim.random.stream(f"{name}.service")
+        #: (arrival time, response time) per completed request, in
+        #: completion order — :meth:`latency_summary` slices by arrival
+        #: time so a warmup window can be discarded.
+        self.samples: List[Tuple[float, float]] = []
+        self.requests_done = 0
+        self.failed_requests = 0
+        self.clones_launched = 0
+        self.clones_cancelled = 0
+        self.hedges_fired = 0
+        self.budget_denied = 0
+        self._budget_in_use = 0
+        self._running = False
+
+    # -- derived ----------------------------------------------------------
+    @property
+    def offered_load(self) -> float:
+        """Per-server utilization the oracle predicts for this config
+        (``lambda * c / n * E[min-of-c]``)."""
+        from ..hedge.oracle import clone_utilization
+        return clone_utilization(self.arrival_rate, len(self.machines),
+                                 self.clone_factor, self.service_dist)
+
+    @property
+    def latencies(self) -> List[float]:
+        return [latency for _arrived, latency in self.samples]
+
+    def latency_summary(self, since: float = 0.0) -> Summary:
+        """Summary of response times for requests arriving at or after
+        *since* (use to trim the empty-system warmup transient)."""
+        return Summary.of([latency for arrived, latency in self.samples
+                           if arrived >= since])
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("service already started")
+        self._running = True
+        self.sim.process(self._arrivals(), name=f"{self.name}.arrivals")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _arrivals(self) -> Generator:
+        sim = self.sim
+        while self._running:
+            yield sim.timeout(self.rng_arrival.expovariate(self.arrival_rate))
+            if not self._running:
+                return
+            group = self.groups[self.rng_route.randrange(len(self.groups))]
+            sim.process(self._serve(group, sim.now), name=f"{self.name}.req")
+
+    # -- request path -----------------------------------------------------
+    def _acquire_extra(self) -> bool:
+        """Take one unit of the fleet-wide extra-clone budget."""
+        if self.clone_budget is None:
+            return True
+        if self._budget_in_use >= self.clone_budget:
+            self.budget_denied += 1
+            return False
+        self._budget_in_use += 1
+        return True
+
+    def _launch(self, server: Machine, items: List) -> None:
+        draw = self.service_dist.sample(self.rng_service)
+        cores = server.cpu.cores
+        item = server.cpu.run(work=draw * cores, threads=cores,
+                              priority=self.priority,
+                              name=f"{self.name}.req")
+        items.append((server, item))
+        self.clones_launched += 1
+
+    def _serve(self, group: Sequence[Machine], arrived_at: float) -> Generator:
+        sim = self.sim
+        items: List = []
+        extras = 0
+        self._launch(group[0], items)
+        hedging = self.hedge_after is not None
+        if not hedging:
+            for server in group[1:]:
+                if not self._acquire_extra():
+                    break
+                extras += 1
+                self._launch(server, items)
+        budget_blocked = False
+        winner = None
+        try:
+            while True:
+                for _server, item in items:
+                    if item.done.triggered and item.done.ok:
+                        winner = item
+                        break
+                if winner is not None:
+                    break
+                live = [item.done for _server, item in items
+                        if not item.done.triggered]
+                if not live:
+                    self.failed_requests += 1  # every clone crashed
+                    return
+                want_hedge = (hedging and not budget_blocked
+                              and len(items) < len(group))
+                if want_hedge:
+                    timer = sim.timeout(self.hedge_after)
+                    try:
+                        yield sim.any_of(live + [timer])
+                    except MachineFailed:
+                        continue  # a clone died; re-wait on the rest
+                    finally:
+                        if not timer.processed:
+                            sim.cancel(timer)  # tombstoned, not leaked
+                    if timer.processed and not any(
+                            item.done.triggered for _s, item in items):
+                        if self._acquire_extra():
+                            extras += 1
+                            self.hedges_fired += 1
+                            self._launch(group[len(items)], items)
+                        else:
+                            budget_blocked = True
+                else:
+                    try:
+                        yield sim.any_of(live)
+                    except MachineFailed:
+                        continue
+            self.requests_done += 1
+            self.samples.append((arrived_at, sim.now - arrived_at))
+        finally:
+            # First-finished-wins: reclaim every losing clone's CPU at
+            # this virtual instant (and release the budget units).
+            for server, item in items:
+                if item is not winner and item.active:
+                    server.cpu.release(item)
+                    self.clones_cancelled += 1
+            self._budget_in_use -= extras
+
+    def __repr__(self) -> str:
+        return (f"<CloneService {self.name!r} n={len(self.machines)} "
+                f"c={self.clone_factor} rate={self.arrival_rate:g}/s "
+                f"rho={self.offered_load:.2f}>")

@@ -20,6 +20,13 @@ injected:
 4. **No permanently-gated proclet** — a MIGRATING proclet always has an
    untriggered gate, and no single gate stays closed longer than
    ``gate_timeout`` virtual seconds.
+8. **Clone-set hygiene** (:mod:`repro.hedge`) — every cloned call has
+   at most one winner; once a call is decided and virtual time has
+   advanced past the decision instant, every losing attempt has
+   actually terminated and none of its cancelled CPU work items is
+   still active on a scheduler (cancelled clones must not leak
+   capacity, DRAM-backed work, or gated proclets — the DRAM and gate
+   invariants above apply to clone losers like everything else).
 
 The checker is read-only: schedulers with a *pending* coalesced
 reassignment are skipped for that event (forcing a flush mid-instant
@@ -95,6 +102,7 @@ class InvariantChecker:
         self._check_fluid()
         self._check_gates()
         self._check_recovery()
+        self._check_clones()
 
     def _fail(self, what: str) -> None:
         raise InvariantViolation(
@@ -275,6 +283,38 @@ class InvariantChecker:
         if recovery.convergence_errors:
             self._fail("recovered state diverged: "
                        + "; ".join(recovery.convergence_errors))
+
+    def _check_clones(self) -> None:
+        """Clone-set hygiene (invariant 8; cheap no-op without cloned
+        calls in flight)."""
+        now = self.runtime.sim.now
+        for call in self.runtime._clone_calls:
+            winners = sum(1 for att in call.attempts if att.won)
+            if winners > 1:
+                self._fail(f"{call!r} has {winners} winners")
+            if not call.decided:
+                continue
+            if winners == 0 and call.process is not None \
+                    and call.process.triggered and call.process.ok:
+                self._fail(f"{call!r} decided successfully without a "
+                           f"winning attempt")
+            if now <= call.decided_at:
+                # Cancellation lands within the decision instant; give
+                # the interrupt wakeups this timestamp to process.
+                continue
+            for att in call.attempts:
+                if att.won:
+                    continue
+                if not att.process.triggered:
+                    self._fail(
+                        f"{call!r}: losing clone {att.index} still alive "
+                        f"{now - call.decided_at:.6f}s after the "
+                        f"decision (cancel leaked)")
+                for item in att.work_items:
+                    if item.active:
+                        self._fail(
+                            f"{call!r}: cancelled clone {att.index} "
+                            f"leaked active work item {item.name!r}")
 
     def __repr__(self) -> str:
         return (f"<InvariantChecker checks={self.checks} "

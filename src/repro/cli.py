@@ -182,6 +182,41 @@ def _chaos_differential(args) -> int:
     return _check_budget(report.wall_s, args.budget)
 
 
+def _cmd_cloning(args) -> int:
+    """Cloning grid vs the closed-form PS oracle (CI's second
+    differential suite)."""
+    from .experiments import cloning
+
+    seeds = _parse_seeds(args.seeds)
+    cells, report = cloning.run_cloning_exec(
+        seeds=seeds, seed=args.seed, duration=args.duration,
+        jobs=args.jobs, cache=args.cache_dir)
+    print(cloning.report(cells))
+    print(report.summary())
+    digest = cloning.cells_digest(cells)
+    print(f"cloning digest: {digest}")
+    wall = report.wall_s
+    if args.check_determinism:
+        # Replay the whole grid fresh (no cache) and require identical
+        # cell digests — serial-vs-parallel equivalence is CI's job.
+        _cells2, replay = cloning.run_cloning_exec(
+            seeds=seeds, seed=args.seed, duration=args.duration,
+            jobs=args.jobs, cache=None)
+        wall += replay.wall_s
+        if replay.digest() != report.digest():
+            print(f"DETERMINISM FAILURE: replay digest "
+                  f"{replay.digest()} != {report.digest()}")
+            return 1
+        print(f"replay grid digest matches ({report.digest()[:16]}...): "
+              f"{len(cells)} cells deterministic")
+    divergences = cloning.differential(cells)
+    if divergences:
+        for d in divergences:
+            print(f"ORACLE DIVERGENCE: {d}")
+        return 1
+    return _check_budget(wall, args.budget)
+
+
 def _cmd_recovery(args) -> int:
     """Kill-mid-run experiment: full policy ablation or one policy."""
     from .experiments import recovery
@@ -336,6 +371,23 @@ def build_parser() -> argparse.ArgumentParser:
                          "previous releases)")
     _add_exec_args(pc)
     pc.set_defaults(fn=_cmd_chaos)
+
+    pcl = sub.add_parser(
+        "cloning",
+        help="request-cloning grid differentially compared against the "
+             "closed-form PS oracle")
+    pcl.add_argument("--seed", type=int, default=0,
+                     help="master seed mixed into every cell's stream")
+    pcl.add_argument("--seeds", default="0",
+                     help="replication seeds per grid cell "
+                          "(e.g. '0-2' or '0,5')")
+    pcl.add_argument("--duration", type=float, default=6.0,
+                     help="virtual seconds per cell")
+    pcl.add_argument("--check-determinism", action="store_true",
+                     help="replay the grid uncached and require "
+                          "identical digests")
+    _add_exec_args(pcl)
+    pcl.set_defaults(fn=_cmd_cloning)
 
     pr = sub.add_parser(
         "recovery",

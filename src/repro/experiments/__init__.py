@@ -3,12 +3,14 @@ plus the ablations from DESIGN.md."""
 
 from . import (
     ablations,
+    cloning,
     fig1_filler,
     fig2_imbalance,
     fig3_gpu_adapt,
     recovery,
     sweep_burst,
 )
+from .cloning import run_cloning, run_cloning_exec
 from .fig1_filler import Fig1Config, Fig1Result, run_fig1, run_fig1_both
 from .fig2_imbalance import Fig2Row, run_fig2, run_fig2_config
 from .fig3_gpu_adapt import Fig3Config, Fig3Result, run_fig3
@@ -22,6 +24,7 @@ __all__ = [
     "Fig3Config",
     "Fig3Result",
     "ablations",
+    "cloning",
     "fig1_filler",
     "fig2_imbalance",
     "fig3_gpu_adapt",
@@ -34,6 +37,8 @@ __all__ = [
     "run_fig1_both",
     "run_fig2",
     "run_fig2_config",
+    "run_cloning",
+    "run_cloning_exec",
     "run_fig3",
     "run_sweep",
     "sweep_burst",

@@ -1,0 +1,315 @@
+"""Closed-form processor-sharing predictions for request cloning.
+
+The cloning reproducibility report (Pellegrini 2020, reproducing
+"Modeling of Request Cloning in Cloud Server Systems using Processor
+Sharing") gives the repro a second analytic oracle next to the
+brute-force water-fill one: with *synchronized* cloning — the n PS
+servers partitioned into n/c groups of c, every request cloned to all c
+servers of one group, first-finished-wins with the losers cancelled on
+the spot — each group behaves as a single M/G/1-PS queue.  The servers
+of a group see identical request sets at identical rates, so a clone
+set finishes everywhere at the virtual instant its fastest service draw
+completes.  Each server is therefore an M/G/1-PS with
+
+* arrival rate  ``lambda_g = arrival_rate * c / n``       (Poisson split)
+* service time  ``S_min = min of c iid draws``            (synchronized)
+
+and PS insensitivity collapses the mean response time to the classic
+
+    ``E[T] = E[S_min] / (1 - lambda_g * E[S_min])``.
+
+Everything here is the exact same mathematical object the fluid CPU
+scheduler produces on a one-core machine with a single priority class
+(each of k resident items gets ``cores/k`` — processor sharing), so the
+simulation should match these formulas up to Monte-Carlo noise; the
+differential suite in :mod:`repro.experiments.cloning` enforces that in
+CI.  Whether cloning *helps* is the min-of-c trade: ``E[S_min]`` falls
+with c (a lot, for high-variance service times) while the per-server
+load factor ``c/n`` rises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Union
+
+__all__ = [
+    "Exponential", "HyperExp", "Deterministic", "ServiceDist",
+    "ps_mean_response", "group_arrival_rate", "clone_utilization",
+    "clone_mean_response", "best_clone_factor", "tolerance_for",
+    "CloneDivergence", "compare_cells",
+]
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential service times with the given mean (M/M/·-PS)."""
+
+    mean: float
+
+    def __post_init__(self):
+        if self.mean <= 0:
+            raise ValueError("mean must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"exp({self.mean:g})"
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation (1 for exponential)."""
+        return 1.0
+
+    def mean_min_of(self, c: int) -> float:
+        """E[min of c iid draws]: min of exponentials is exponential
+        with the rates summed."""
+        _check_clones(c)
+        return self.mean / c
+
+    def scv_min_of(self, c: int) -> float:
+        """SCV of the min of c draws (still exponential: 1)."""
+        _check_clones(c)
+        return 1.0
+
+    def sample(self, rng) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+@dataclass(frozen=True)
+class HyperExp:
+    """Two-branch hyperexponential: fast with probability ``p``, slow
+    otherwise.  The high-variance case where cloning shines — most
+    draws are fast, so the min of a few clones dodges the slow branch.
+    """
+
+    p: float
+    mean_fast: float
+    mean_slow: float
+
+    def __post_init__(self):
+        if not 0.0 < self.p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        if self.mean_fast <= 0 or self.mean_slow <= 0:
+            raise ValueError("branch means must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"hyp({self.p:g};{self.mean_fast:g},{self.mean_slow:g})"
+
+    @property
+    def mean(self) -> float:
+        return self.p * self.mean_fast + (1.0 - self.p) * self.mean_slow
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation, ``E[S^2]/E[S]^2 - 1``."""
+        second = 2.0 * (self.p * self.mean_fast ** 2
+                        + (1.0 - self.p) * self.mean_slow ** 2)
+        return second / self.mean ** 2 - 1.0
+
+    def _min_moments(self, c: int):
+        """(E[min], E[min^2]) of c iid draws, conditioning on how many
+        of the c clones drew the fast branch: k fast + (c-k) slow draws
+        give an exponential min with rate ``k*mu1 + (c-k)*mu2``."""
+        _check_clones(c)
+        mu1 = 1.0 / self.mean_fast
+        mu2 = 1.0 / self.mean_slow
+        q = 1.0 - self.p
+        first = second = 0.0
+        for k in range(c + 1):
+            weight = math.comb(c, k) * self.p ** k * q ** (c - k)
+            rate = k * mu1 + (c - k) * mu2
+            first += weight / rate
+            second += weight * 2.0 / rate ** 2
+        return first, second
+
+    def mean_min_of(self, c: int) -> float:
+        """E[min of c iid draws]."""
+        return self._min_moments(c)[0]
+
+    def scv_min_of(self, c: int) -> float:
+        """SCV of the min of c draws — cloning trims the slow branch,
+        so variability (and Monte-Carlo noise) collapses with c."""
+        first, second = self._min_moments(c)
+        return second / first ** 2 - 1.0
+
+    def sample(self, rng) -> float:
+        branch_mean = (self.mean_fast if rng.random() < self.p
+                       else self.mean_slow)
+        return rng.expovariate(1.0 / branch_mean)
+
+
+@dataclass(frozen=True)
+class Deterministic:
+    """Constant service times — the cloning lower bound: min-of-c of a
+    constant is the constant, so clones only add load (cloning strictly
+    hurts; useful as a negative control)."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value <= 0:
+            raise ValueError("value must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"det({self.value:g})"
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+    def mean_min_of(self, c: int) -> float:
+        _check_clones(c)
+        return self.value
+
+    def scv_min_of(self, c: int) -> float:
+        _check_clones(c)
+        return 0.0
+
+    def sample(self, rng) -> float:
+        return self.value
+
+
+ServiceDist = Union[Exponential, HyperExp, Deterministic]
+
+
+def _check_clones(c: int) -> None:
+    if not isinstance(c, int) or c < 1:
+        raise ValueError(f"clone factor must be a positive int, got {c!r}")
+
+
+# -- closed forms -----------------------------------------------------------
+
+def ps_mean_response(arrival_rate: float, mean_service: float) -> float:
+    """M/G/1-PS mean response time: ``E[S] / (1 - rho)``.
+
+    PS is insensitive to the service distribution beyond its mean, which
+    is exactly why the cloned system stays closed-form.  Returns ``inf``
+    at or beyond saturation.
+    """
+    if arrival_rate < 0 or mean_service <= 0:
+        raise ValueError("need arrival_rate >= 0 and mean_service > 0")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return math.inf
+    return mean_service / (1.0 - rho)
+
+
+def group_arrival_rate(arrival_rate: float, servers: int,
+                       clone_factor: int) -> float:
+    """Per-server arrival rate under synchronized clone-to-c routing."""
+    _check_clones(clone_factor)
+    if servers < 1 or servers % clone_factor != 0:
+        raise ValueError(
+            f"clone factor {clone_factor} must divide the server count "
+            f"{servers} (synchronized cloning partitions servers into "
+            f"groups of c)")
+    return arrival_rate * clone_factor / servers
+
+
+def clone_utilization(arrival_rate: float, servers: int, clone_factor: int,
+                      dist: ServiceDist) -> float:
+    """Per-server utilization ``rho = lambda_g * E[S_min]``."""
+    lam_g = group_arrival_rate(arrival_rate, servers, clone_factor)
+    return lam_g * dist.mean_min_of(clone_factor)
+
+
+def clone_mean_response(arrival_rate: float, servers: int, clone_factor: int,
+                        dist: ServiceDist) -> float:
+    """Predicted mean response time for synchronized clone-to-c.
+
+    ``E[T](c) = E[S_min(c)] / (1 - (lambda*c/n) * E[S_min(c)])``; ``inf``
+    when cloning pushes the per-server load past saturation.
+    """
+    lam_g = group_arrival_rate(arrival_rate, servers, clone_factor)
+    return ps_mean_response(lam_g, dist.mean_min_of(clone_factor))
+
+
+def best_clone_factor(arrival_rate: float, servers: int,
+                      dist: ServiceDist) -> int:
+    """The clone factor (among divisors of *servers*) minimizing the
+    predicted mean response time."""
+    candidates = [c for c in range(1, servers + 1) if servers % c == 0]
+    return min(candidates,
+               key=lambda c: clone_mean_response(arrival_rate, servers,
+                                                 c, dist))
+
+
+# -- differential comparison ------------------------------------------------
+
+def tolerance_for(rho: float, requests: int, scv: float = 1.0) -> float:
+    """Relative tolerance for comparing a simulated mean against the
+    closed form.
+
+    The simulated mean is a Monte-Carlo estimate whose relative
+    standard error (i) shrinks like ``1/sqrt(n)``, (ii) grows with the
+    service-time variability *of the effective (min-of-c) service
+    distribution* — pass ``dist.scv_min_of(c)`` as *scv* — and (iii)
+    blows up like ``1/(1-rho)`` near saturation, where response times
+    are strongly autocorrelated through the shared queue (regenerative
+    cycles lengthen, so the effective sample size collapses).  The
+    multiplier 10 was calibrated against the seed grid in
+    :mod:`repro.experiments.cloning`: observed worst-case errors were
+    0.2-4.7% for exponential cells (9k-23k requests) and 0.1-4.2% for
+    hyperexponential (scv 5.5) cells at 70k-98k requests, leaving the
+    band 2-4x above the worst observed cell — wide enough that
+    seed-to-seed noise does not flake CI, tight enough that a modeling
+    error (wrong formula, wrong routing, PS violated) trips it
+    immediately (see docs/cloning.md for the full calibration table).
+    """
+    if requests <= 0 or rho >= 1.0:
+        return math.inf
+    noise = 10.0 * math.sqrt(max(scv, 1.0) * max(rho, 0.0) / requests) \
+        / (1.0 - rho)
+    return 0.02 + noise
+
+
+@dataclass(frozen=True)
+class CloneDivergence:
+    """One grid cell whose simulated mean left the oracle's band."""
+
+    cell: str
+    simulated: float
+    predicted: float
+    tolerance: float
+
+    @property
+    def error(self) -> float:
+        if self.predicted == 0:
+            return math.inf
+        return abs(self.simulated - self.predicted) / self.predicted
+
+    def __str__(self) -> str:
+        return (f"{self.cell}: simulated={self.simulated:.6g} "
+                f"predicted={self.predicted:.6g} "
+                f"(err={self.error:.1%} > tol={self.tolerance:.1%})")
+
+
+def compare_cells(cells) -> List[CloneDivergence]:
+    """Diff simulated grid cells against the closed-form predictions.
+
+    Each *cell* is a mapping with ``cell`` (label), ``mean`` (simulated
+    mean response), ``predicted`` (closed form) and ``tolerance``
+    (relative band, from :func:`tolerance_for`) — the dicts produced by
+    :func:`repro.experiments.cloning.run_cell`.  Returns the divergences
+    (empty list = every cell inside its band).
+    """
+    out: List[CloneDivergence] = []
+    for cell in cells:
+        predicted = cell["predicted"]
+        simulated = cell["mean"]
+        tol = cell["tolerance"]
+        if not math.isfinite(predicted):
+            continue  # saturated cell: no finite prediction to pin
+        if abs(simulated - predicted) > tol * predicted:
+            out.append(CloneDivergence(cell=cell["cell"],
+                                       simulated=simulated,
+                                       predicted=predicted,
+                                       tolerance=tol))
+    return out

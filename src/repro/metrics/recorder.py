@@ -135,6 +135,18 @@ class MetricsRecorder:
             self.gauge(f"{prefix}.{key}").set(now, stats[key])
         return stats
 
+    def record_clone_stats(self, runtime, prefix: str = "hedge") -> Dict:
+        """Snapshot a :class:`repro.runtime.NuRuntime`'s cloning/hedging
+        counters (``runtime.clone_stats``) into gauges at the current
+        virtual time, plus the number of still-unsettled cloned calls;
+        returns the stats dict."""
+        now = self.sim.now
+        stats = dict(runtime.clone_stats)
+        stats["unsettled_calls"] = len(runtime._clone_calls)
+        for key in sorted(stats):
+            self.gauge(f"{prefix}.{key}").set(now, stats[key])
+        return stats
+
     def record_trace_stats(self, tracer=None,
                            prefix: str = "obs.trace") -> Dict:
         """Snapshot a :class:`repro.obs.SpanTracer`'s counters into gauges.

@@ -24,13 +24,19 @@ if TYPE_CHECKING:
 class Context:
     """Per-invocation execution context."""
 
-    __slots__ = ("runtime", "proclet", "priority")
+    __slots__ = ("runtime", "proclet", "priority", "work_items")
 
     def __init__(self, runtime, proclet: "Proclet",
-                 priority: Priority = Priority.NORMAL):
+                 priority: Priority = Priority.NORMAL,
+                 work_items=None):
         self.runtime = runtime
         self.proclet = proclet
         self.priority = priority
+        #: Optional per-invocation cancel scope (a list): every CPU work
+        #: item started through this context is appended, so a losing
+        #: clone attempt can reclaim exactly its own in-flight work
+        #: (see :mod:`repro.hedge`).  None for plain calls — zero cost.
+        self.work_items = work_items
 
     # -- environment -----------------------------------------------------
     @property
@@ -65,6 +71,8 @@ class Context:
             return item.done
         proclet._active_cpu.add(item)
         item.done.subscribe(lambda _e: proclet._active_cpu.discard(item))
+        if self.work_items is not None:
+            self.work_items.append(item)
         return item.done
 
     def sleep(self, delay: float) -> Event:

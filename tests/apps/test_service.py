@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.apps import FillerApp, LatencyService
+from repro.apps import CloneService, FillerApp, LatencyService
+from repro.hedge import Deterministic, Exponential
 from repro.units import MS, US
 
 from ..conftest import make_qs
@@ -106,3 +107,108 @@ class TestPriorityIsolation:
         resumed = filler.goodput_cores(resume_start + 1 * MS, qs.sim.now)
         assert starved < 0.2
         assert resumed > 7.0
+
+
+class TestCloneService:
+    """The multi-server PS fleet with synchronized request cloning."""
+
+    def test_validation(self):
+        qs = quiet_qs()
+        dist = Exponential(mean=1 * MS)
+        with pytest.raises(ValueError):
+            CloneService([], 100.0, dist)
+        with pytest.raises(ValueError):
+            CloneService(qs.machines, 0.0, dist)
+        with pytest.raises(ValueError):
+            # 3 does not divide 2 machines.
+            CloneService(qs.machines, 100.0, dist, clone_factor=3)
+        with pytest.raises(ValueError):
+            CloneService(qs.machines, 100.0, dist, hedge_after=0.0)
+        with pytest.raises(ValueError):
+            CloneService(qs.machines, 100.0, dist, clone_budget=-1)
+
+    def test_double_start_rejected(self):
+        qs = quiet_qs()
+        svc = CloneService(qs.machines, 100.0, Exponential(mean=1 * MS))
+        svc.start()
+        with pytest.raises(RuntimeError):
+            svc.start()
+
+    def test_cloned_requests_complete_and_cancel_losers(self):
+        qs = quiet_qs()
+        svc = CloneService(qs.machines, 200.0, Exponential(mean=1 * MS),
+                           clone_factor=2)
+        svc.start()
+        qs.run(until=0.5)
+        assert svc.requests_done > 50
+        assert svc.failed_requests == 0
+        # Every completed request launched 2 clones and cancelled 1
+        # (minus any exact ties, which complete instead).
+        assert svc.clones_launched >= 2 * svc.requests_done
+        assert svc.clones_cancelled >= 0.9 * svc.requests_done
+        assert len(svc.samples) == svc.requests_done
+        arrivals = [arrived for arrived, _lat in svc.samples]
+        assert all(t >= 0 for t in arrivals)
+
+    def test_offered_load_matches_oracle_utilization(self):
+        from repro.hedge import clone_utilization
+
+        qs = quiet_qs()
+        dist = Exponential(mean=1 * MS)
+        svc = CloneService(qs.machines, 500.0, dist, clone_factor=2)
+        assert svc.offered_load == pytest.approx(
+            clone_utilization(500.0, 2, 2, dist))
+
+    def test_hedging_fires_only_for_slow_requests(self):
+        qs = quiet_qs()
+        # Deterministic 5 ms service, 1 ms hedge: every request hedges.
+        svc = CloneService(qs.machines, 50.0, Deterministic(value=5 * MS),
+                           clone_factor=2, hedge_after=1 * MS)
+        svc.start()
+        qs.run(until=0.3)
+        assert svc.requests_done > 5
+        assert svc.hedges_fired >= 0.9 * svc.requests_done
+        # A hedge timer that loses is cancelled through the kernel
+        # machinery: once arrivals stop and the sim drains, every
+        # tombstoned entry was reclaimed.
+        svc.stop()
+        qs.sim.run()
+        assert qs.sim.heap_stats()["dead_entries"] == 0
+
+    def test_zero_budget_degrades_to_uncloned(self):
+        qs = quiet_qs()
+        svc = CloneService(qs.machines, 200.0, Exponential(mean=1 * MS),
+                           clone_factor=2, clone_budget=0)
+        svc.start()
+        qs.run(until=0.3)
+        assert svc.requests_done > 20
+        # No extras ever launched: exactly one clone per request.
+        assert svc.clones_launched == \
+            svc.requests_done + svc.failed_requests
+        assert svc.budget_denied >= svc.requests_done
+        assert svc.clones_cancelled == 0
+
+    def test_crashed_server_does_not_fail_cloned_requests(self):
+        qs = quiet_qs()
+        m0, _m1 = qs.machines
+        svc = CloneService(qs.machines, 100.0, Exponential(mean=1 * MS),
+                           clone_factor=2)
+        svc.start()
+        qs.run(until=0.1)
+        qs.runtime.fail_machine(m0)
+        qs.run(until=0.2)
+        svc.stop()
+        qs.run(until=0.3)
+        # The surviving sibling serves every request alone.
+        assert svc.requests_done > 10
+        assert svc.failed_requests == 0
+
+    def test_latency_summary_trims_warmup(self):
+        qs = quiet_qs()
+        svc = CloneService(qs.machines, 500.0, Exponential(mean=1 * MS))
+        svc.start()
+        qs.run(until=0.4)
+        full = svc.latency_summary()
+        trimmed = svc.latency_summary(since=0.2)
+        assert trimmed.count < full.count
+        assert trimmed.count > 0

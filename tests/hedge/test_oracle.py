@@ -1,0 +1,179 @@
+"""Unit tests for the closed-form PS cloning oracle."""
+
+import math
+import random
+
+import pytest
+
+from repro.hedge import (
+    CloneDivergence,
+    Deterministic,
+    Exponential,
+    HyperExp,
+    best_clone_factor,
+    clone_mean_response,
+    clone_utilization,
+    compare_cells,
+    group_arrival_rate,
+    ps_mean_response,
+    tolerance_for,
+)
+
+
+class TestDistributions:
+    def test_exponential_min_of_c(self):
+        # Min of c iid exponentials: rates add.
+        d = Exponential(mean=2.0)
+        assert d.mean == 2.0
+        assert d.mean_min_of(1) == 2.0
+        assert d.mean_min_of(4) == pytest.approx(0.5)
+        assert d.scv == 1.0
+        assert d.scv_min_of(3) == 1.0
+
+    def test_deterministic_min_is_identity(self):
+        # The cloning lower bound: min of a constant is the constant.
+        d = Deterministic(value=3.0)
+        assert d.mean_min_of(1) == 3.0
+        assert d.mean_min_of(5) == 3.0
+        assert d.scv == 0.0
+
+    def test_hyperexp_mean_and_scv(self):
+        d = HyperExp(p=0.9, mean_fast=0.5, mean_slow=5.5)
+        assert d.mean == pytest.approx(0.9 * 0.5 + 0.1 * 5.5)
+        # E[S^2] = 2(p m1^2 + q m2^2); scv = E[S^2]/E[S]^2 - 1.
+        second = 2 * (0.9 * 0.5 ** 2 + 0.1 * 5.5 ** 2)
+        assert d.scv == pytest.approx(second / d.mean ** 2 - 1.0)
+        assert d.scv > 5  # genuinely high-variance
+
+    def test_hyperexp_min_collapses_the_slow_branch(self):
+        d = HyperExp(p=0.9, mean_fast=0.5, mean_slow=5.5)
+        means = [d.mean_min_of(c) for c in (1, 2, 3, 4)]
+        assert means == sorted(means, reverse=True)
+        # With two clones the slow-slow draw has probability 0.01, so
+        # E[min] collapses well below the single-draw mean.
+        assert d.mean_min_of(2) < 0.5 * d.mean
+        # ... and so does the variability.
+        assert d.scv_min_of(2) < d.scv
+
+    def test_hyperexp_min_of_one_matches_base_moments(self):
+        d = HyperExp(p=0.7, mean_fast=1.0, mean_slow=10.0)
+        assert d.mean_min_of(1) == pytest.approx(d.mean)
+        assert d.scv_min_of(1) == pytest.approx(d.scv)
+
+    def test_hyperexp_min_against_monte_carlo(self):
+        # The conditioning formula vs brute force.
+        d = HyperExp(p=0.8, mean_fast=1.0, mean_slow=8.0)
+        rng = random.Random(42)
+        n = 20000
+        draws = [min(d.sample(rng) for _ in range(3)) for _ in range(n)]
+        assert sum(draws) / n == pytest.approx(d.mean_min_of(3), rel=0.05)
+
+    def test_sampling_matches_means(self):
+        rng = random.Random(7)
+        for d in (Exponential(mean=2.0),
+                  HyperExp(p=0.9, mean_fast=0.5, mean_slow=5.5),
+                  Deterministic(value=1.5)):
+            n = 20000
+            mean = sum(d.sample(rng) for _ in range(n)) / n
+            assert mean == pytest.approx(d.mean, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(mean=0.0)
+        with pytest.raises(ValueError):
+            HyperExp(p=1.0, mean_fast=1.0, mean_slow=2.0)
+        with pytest.raises(ValueError):
+            HyperExp(p=0.5, mean_fast=-1.0, mean_slow=2.0)
+        with pytest.raises(ValueError):
+            Deterministic(value=0.0)
+        with pytest.raises(ValueError):
+            Exponential(mean=1.0).mean_min_of(0)
+
+
+class TestClosedForms:
+    def test_ps_mean_response(self):
+        # E[S]/(1-rho); insensitive beyond the mean.
+        assert ps_mean_response(0.5, 1.0) == pytest.approx(2.0)
+        assert ps_mean_response(0.0, 3.0) == 3.0
+        assert ps_mean_response(1.0, 1.0) == math.inf  # saturation
+        assert ps_mean_response(2.0, 1.0) == math.inf
+        with pytest.raises(ValueError):
+            ps_mean_response(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ps_mean_response(0.5, 0.0)
+
+    def test_group_arrival_rate_splits_poisson(self):
+        assert group_arrival_rate(600.0, 6, 1) == pytest.approx(100.0)
+        assert group_arrival_rate(600.0, 6, 2) == pytest.approx(200.0)
+        assert group_arrival_rate(600.0, 6, 6) == pytest.approx(600.0)
+
+    def test_clone_factor_must_divide_servers(self):
+        with pytest.raises(ValueError):
+            group_arrival_rate(100.0, 6, 4)
+        with pytest.raises(ValueError):
+            clone_mean_response(100.0, 5, 2, Exponential(mean=1e-3))
+
+    def test_exponential_cloning_always_helps_below_saturation(self):
+        # Exponential: E[S_min] = E[S]/c exactly cancels the c-times
+        # arrival rate, so rho is invariant and E[T] scales as 1/c.
+        d = Exponential(mean=1e-3)
+        base = clone_mean_response(3000.0, 6, 1, d)
+        assert clone_utilization(3000.0, 6, 2, d) == pytest.approx(
+            clone_utilization(3000.0, 6, 1, d))
+        assert clone_mean_response(3000.0, 6, 2, d) == pytest.approx(base / 2)
+        assert clone_mean_response(3000.0, 6, 3, d) == pytest.approx(base / 3)
+
+    def test_deterministic_cloning_always_hurts(self):
+        # Constant service: min-of-c buys nothing, load triples.
+        d = Deterministic(value=1e-3)
+        base = clone_mean_response(1800.0, 6, 1, d)
+        assert clone_mean_response(1800.0, 6, 2, d) > base
+        assert clone_mean_response(1800.0, 6, 3, d) > base
+
+    def test_saturated_clone_config_predicts_inf(self):
+        d = Deterministic(value=1e-3)
+        # rho(c=3) = 0.4 * 3 = 1.2 > 1.
+        assert clone_mean_response(2400.0, 6, 3, d) == math.inf
+
+    def test_best_clone_factor(self):
+        det = Deterministic(value=1e-3)
+        assert best_clone_factor(1800.0, 6, det) == 1
+        hyp = HyperExp(p=0.9, mean_fast=0.5e-3, mean_slow=5.5e-3)
+        assert best_clone_factor(1800.0, 6, hyp) > 1
+
+
+class TestTolerance:
+    def test_shrinks_with_samples_grows_with_load_and_scv(self):
+        assert tolerance_for(0.5, 40000) < tolerance_for(0.5, 10000)
+        assert tolerance_for(0.7, 10000) > tolerance_for(0.3, 10000)
+        assert tolerance_for(0.5, 10000, scv=5.5) > \
+            tolerance_for(0.5, 10000, scv=1.0)
+
+    def test_degenerate_cells_get_infinite_band(self):
+        assert tolerance_for(0.5, 0) == math.inf
+        assert tolerance_for(1.0, 10000) == math.inf
+
+    def test_floor_keeps_ci_honest(self):
+        # Even an enormous sample keeps a 2% floor (model error budget).
+        assert tolerance_for(0.1, 10 ** 9) >= 0.02
+
+
+class TestCompareCells:
+    def _cell(self, mean, predicted, tol, name="c"):
+        return {"cell": name, "mean": mean, "predicted": predicted,
+                "tolerance": tol}
+
+    def test_within_band_passes(self):
+        assert compare_cells([self._cell(1.04, 1.0, 0.05)]) == []
+
+    def test_outside_band_diverges(self):
+        out = compare_cells([self._cell(1.2, 1.0, 0.05, name="bad")])
+        assert len(out) == 1
+        d = out[0]
+        assert isinstance(d, CloneDivergence)
+        assert d.cell == "bad"
+        assert d.error == pytest.approx(0.2)
+        assert "bad" in str(d)
+
+    def test_saturated_prediction_skipped(self):
+        assert compare_cells([self._cell(9.9, math.inf, 0.05)]) == []
