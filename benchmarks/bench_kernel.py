@@ -338,6 +338,50 @@ def scenario_thousand_machines(quick: bool):
     return ops, sim
 
 
+def scenario_serving(quick: bool):
+    """Multi-tenant serving at fleet scale: the tenant-aware scheduler's
+    placement rounds at 250 (quick) / 1000 (full) machines.
+
+    Every 20 ms round re-estimates per-tenant demand, water-fills the
+    cluster, scales replica fleets through normal placement, and picks
+    a migration off the machine index's bucketed ratio extremes — the
+    exact control-plane path the serving experiment drives at 24
+    machines, here priced at datacenter scale.  The request plane is
+    held CONSTANT across scales (same tenants, same rates, long
+    service times), so the quick (250 machines) vs full (1000)
+    events/sec ratio isolates how round cost scales with fleet size:
+    bucketed queries keep it near flat, while a linear per-round fleet
+    scan would collapse it ~4x.  Skipped (ImportError) on kernels
+    predating the serving scenario.
+    """
+    from repro.apps import ServingScenario, TenantSpec, TraceSpec
+
+    machines = 250 if quick else 1000
+    seconds = 0.5 if quick else 0.8
+    n_tenants = 8
+    service_mean = 0.05
+    # ~30% of the QUICK cluster's capacity regardless of scale: the
+    # full run adds machines, not load, so wall cost differences come
+    # from the control plane.
+    capacity = 250 * 2.0
+    rate = 0.3 * capacity / (n_tenants * service_mean)
+    tenants = tuple(
+        TenantSpec(name=f"t{i}",
+                   trace=TraceSpec(base_rate=rate, amplitude=0.8,
+                                   phase=i / n_tenants),
+                   service_mean=service_mean, slo_deadline=1.0,
+                   weight=2.0 if i % 2 == 0 else 1.0)
+        for i in range(n_tenants))
+    scenario = ServingScenario(tenants, machines=machines, cores=2.0,
+                               mode="fungible", seed=29,
+                               duration=seconds, warmup=0.1)
+    scenario.run()
+    sched = scenario.scheduler
+    ops = (sum(t.offered for t in scenario.tenants) + sched.rounds
+           + sched.scale_ups + sched.scale_downs + sched.migrations)
+    return ops, scenario.qs.sim
+
+
 class _ExecStats:
     """Adapts an exec-engine report to the (ops, sim)-shaped harness:
     merged worker kernel counters stand in for one simulator's."""
@@ -388,6 +432,7 @@ SCENARIOS = {
     "timerstorm": scenario_timerstorm,
     "heartbeats": scenario_heartbeats,
     "thousand-machines": scenario_thousand_machines,
+    "serving": scenario_serving,
     "parallel-sweep": scenario_parallel_sweep,
 }
 

@@ -6,12 +6,25 @@ from .filler import FillerApp
 from .kvcache import ElasticCache
 from .phased import PhasedApp
 from .service import CloneService, LatencyService
+from .serving import (AdmissionController, ServingReplica, ServingScenario,
+                      ServingScheduler, TenantSpec, default_tenants,
+                      weighted_water_fill)
+from .traces import ArrivalTrace, TraceSpec
 
 __all__ = [
+    "AdmissionController",
+    "ArrivalTrace",
     "CloneService",
     "ElasticCache",
     "FillerApp",
     "LatencyService",
     "PhasedApp",
+    "ServingReplica",
+    "ServingScenario",
+    "ServingScheduler",
+    "TenantSpec",
+    "TraceSpec",
     "WordCountJob",
+    "default_tenants",
+    "weighted_water_fill",
 ]

@@ -44,9 +44,15 @@ class LatencyService:
                             else concurrency)
         self.name = name
         self.rng = machine.sim.random.stream(rng_stream)
-        self.latencies: List[float] = []
+        #: (arrival time, response time) per completed request, in
+        #: completion order (same shape as :attr:`CloneService.samples`).
+        self.samples: List[Tuple[float, float]] = []
         self.requests_done = 0
         self._running = False
+
+    @property
+    def latencies(self) -> List[float]:
+        return [latency for _arrived, latency in self.samples]
 
     @property
     def offered_load(self) -> float:
@@ -79,9 +85,21 @@ class LatencyService:
         )
         yield item.done
         self.requests_done += 1
-        self.latencies.append(sim.now - arrived_at)
+        self.samples.append((arrived_at, sim.now - arrived_at))
 
-    def latency_summary(self, since_index: int = 0) -> Summary:
+    def latency_summary(self, since: Optional[float] = None,
+                        since_index: int = 0) -> Summary:
+        """Summary of response times, trimmed by either form.
+
+        ``since`` (virtual time) keeps requests *arriving* at or after
+        that instant — the same warmup-trimming contract as
+        :meth:`CloneService.latency_summary`.  ``since_index`` (the
+        legacy form) slices by completion order.  ``since`` wins when
+        both are given.
+        """
+        if since is not None:
+            return Summary.of([latency for arrived, latency in self.samples
+                               if arrived >= since])
         return Summary.of(self.latencies[since_index:])
 
     def __repr__(self) -> str:

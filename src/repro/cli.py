@@ -217,6 +217,51 @@ def _cmd_cloning(args) -> int:
     return _check_budget(wall, args.budget)
 
 
+def _cmd_serving(args) -> int:
+    """Multi-tenant serving grid: fungible Quicksand vs static VM
+    carve-up, with the goodput-ratio gate CI pins."""
+    from .experiments import serving
+
+    seeds = _parse_seeds(args.seeds)
+    cells, report = serving.run_serving_exec(
+        seeds=seeds, seed=args.seed, machines=args.machines,
+        n_tenants=args.tenants, duration=args.duration,
+        jobs=args.jobs, cache=args.cache_dir)
+    print(serving.report(cells))
+    print(report.summary())
+    digest = serving.cells_digest(cells)
+    print(f"serving digest: {digest}")
+    wall = report.wall_s
+    if args.check_determinism:
+        # Replay the whole grid fresh (no cache) and require identical
+        # cell digests — serial-vs-parallel equivalence is CI's job.
+        _cells2, replay = serving.run_serving_exec(
+            seeds=seeds, seed=args.seed, machines=args.machines,
+            n_tenants=args.tenants, duration=args.duration,
+            jobs=args.jobs, cache=None)
+        wall += replay.wall_s
+        if replay.digest() != report.digest():
+            print(f"DETERMINISM FAILURE: replay digest "
+                  f"{replay.digest()} != {report.digest()}")
+            return 1
+        print(f"replay grid digest matches ({report.digest()[:16]}...): "
+              f"{len(cells)} cells deterministic")
+    starved = [v for cell in cells for v in cell["starvation_violations"]]
+    if starved:
+        for v in starved:
+            print(f"STARVATION VIOLATION: {v}")
+        return 1
+    if args.min_ratio > 0:
+        ratio = serving.goodput_ratio(cells)
+        if ratio < args.min_ratio:
+            print(f"GOODPUT RATIO GATE FAILED: {ratio:.3f} < "
+                  f"{args.min_ratio:g}")
+            return 1
+        print(f"goodput ratio gate passed: {ratio:.3f} >= "
+              f"{args.min_ratio:g}")
+    return _check_budget(wall, args.budget)
+
+
 def _cmd_recovery(args) -> int:
     """Kill-mid-run experiment: full policy ablation or one policy."""
     from .experiments import recovery
@@ -388,6 +433,29 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical digests")
     _add_exec_args(pcl)
     pcl.set_defaults(fn=_cmd_cloning)
+
+    psv = sub.add_parser(
+        "serving",
+        help="multi-tenant serving grid: fungible vs static carve-up "
+             "with SLO goodput gates")
+    psv.add_argument("--seed", type=int, default=0,
+                     help="master seed mixed into every cell's stream")
+    psv.add_argument("--seeds", default="0-2",
+                     help="replication seeds (e.g. '0-2' or '0,5')")
+    psv.add_argument("--machines", type=int, default=24,
+                     help="cluster size (2-core machines)")
+    psv.add_argument("--tenants", type=int, default=8,
+                     help="tenant count (staggered diurnal phases)")
+    psv.add_argument("--duration", type=float, default=2.0,
+                     help="virtual seconds per cell")
+    psv.add_argument("--min-ratio", type=float, default=0.0,
+                     help="fail unless fungible/static goodput ratio "
+                          "meets this floor (0 = report only)")
+    psv.add_argument("--check-determinism", action="store_true",
+                     help="replay the grid uncached and require "
+                          "identical digests")
+    _add_exec_args(psv)
+    psv.set_defaults(fn=_cmd_serving)
 
     pr = sub.add_parser(
         "recovery",

@@ -101,21 +101,18 @@ class GlobalScheduler:
         apply_plan(cpu_items, {m.name: m.cpu.cores for m in machines})
 
     # -- compute balance -----------------------------------------------------
-    def _normal_cpu_demand(self, machine) -> float:
-        return sum(
-            it.demand for it in machine.cpu.sched.items
-            if it.priority >= 1 and isinstance(it.owner, ResourceProclet)
-        )
-
     def _rebalance_compute(self) -> None:
-        machines = self.qs.eligible_machines()
-        if len(machines) < 2:
+        """Move one compute proclet from the most to the least planned-
+        committed machine (planned CPU per core, off the machine index's
+        exact cache — no per-round sweep over every machine's run
+        queue).  Planned demand counts hosted compute proclets' worker
+        threads whether or not they are mid-task at this instant, which
+        is the signal placement already packs against."""
+        index = self.qs.machine_index
+        healthy = self.qs.placement._healthy
+        low, low_ratio, high, high_ratio = index.cpu_ratio_extremes(healthy)
+        if high is None or low is high:
             return
-        ratios = [(self._normal_cpu_demand(m) / m.cpu.cores, m)
-                  for m in machines]
-        ratios.sort(key=lambda rm: rm[0])
-        low_ratio, low = ratios[0]
-        high_ratio, high = ratios[-1]
         if high_ratio - low_ratio < self.config.cpu_imbalance_threshold:
             return
         if low.cpu.free_cores() < 1.0:
@@ -138,13 +135,12 @@ class GlobalScheduler:
 
     # -- memory balance --------------------------------------------------------
     def _rebalance_memory(self) -> None:
-        machines = self.qs.eligible_machines()
-        if len(machines) < 2:
+        index = self.qs.machine_index
+        healthy = self.qs.placement._healthy
+        low, low_p, high, high_p = index.pressure_extremes(healthy)
+        if high is None or low is high:
             return
-        by_pressure = sorted(machines, key=lambda m: m.memory.pressure)
-        low, high = by_pressure[0], by_pressure[-1]
-        if (high.memory.pressure - low.memory.pressure
-                < self.config.memory_imbalance_threshold):
+        if high_p - low_p < self.config.memory_imbalance_threshold:
             return
         candidates = [
             p for p in self.qs.runtime.proclets_on(high)

@@ -44,6 +44,20 @@ def _bucket_key(value: float) -> int:
     return math.frexp(value)[1]
 
 
+#: Load-ratio bucket width: ratios quantized to 1/32 steps.  Ratios are
+#: bounded (pressure by 1.0, planned/cores by modest overcommit), so
+#: uniform buckets beat log2 ones here — equal values always share a
+#: bucket, which is what makes the extreme queries exact.
+_RATIO_STEP = 32.0
+
+
+def _ratio_key(ratio: float) -> int:
+    """Uniform bucket index for a load ratio (pressure, planned/cores)."""
+    if ratio <= 0.0:
+        return 0
+    return int(ratio * _RATIO_STEP)
+
+
 class MachineIndex:
     """Event-driven machine buckets backing :class:`PlacementPolicy`
     and :meth:`Quicksand.eligible_machines`."""
@@ -61,11 +75,22 @@ class MachineIndex:
         # Planned-bound (cores - planned) buckets.
         self._cpu_key: Dict[int, int] = {}
         self._cpu_buckets: Dict[int, set] = {}
+        # Load-ratio buckets (global-scheduler extremes): DRAM pressure
+        # and planned-CPU ratio (planned / cores), kept alongside the
+        # argmax buckets from the same event hooks.
+        self._pres_key: Dict[int, int] = {}
+        self._pres_buckets: Dict[int, set] = {}
+        self._ratio_key_of: Dict[int, int] = {}
+        self._ratio_buckets: Dict[int, set] = {}
         for m in machines:
             self._bucket_insert(self._mem_buckets, self._mem_key, m,
                                 _bucket_key(m.memory.free))
             self._bucket_insert(self._cpu_buckets, self._cpu_key, m,
                                 _bucket_key(m.cpu.cores))
+            self._bucket_insert(self._pres_buckets, self._pres_key, m,
+                                _ratio_key(m.memory.pressure))
+            self._bucket_insert(self._ratio_buckets, self._ratio_key_of, m,
+                                _ratio_key(0.0))
             m.memory.add_listener(
                 lambda _mem, machine=m: self._rebucket_mem(machine))
         # Cached (health_fn, machines) eligible list; None = stale.
@@ -75,6 +100,11 @@ class MachineIndex:
         #: recovery manager's ``eligible``); any other callable bypasses
         #: the cache because we cannot see its state changes.
         self._tracked_health: Optional[Callable[[Machine], bool]] = None
+        #: CPU-scheduler identity -> machine (stable across fail/restore:
+        #: a crash resizes the scheduler, never replaces it), for mapping
+        #: the simulator's pending-flush list back to machines.
+        self._machine_by_cpu_sched: Dict[int, Machine] = {
+            id(m.cpu.sched): m for m in machines}
 
     # -- bucket plumbing -----------------------------------------------------
     @staticmethod
@@ -102,11 +132,21 @@ class MachineIndex:
     def _rebucket_mem(self, machine: Machine) -> None:
         self._bucket_move(self._mem_buckets, self._mem_key, machine,
                           _bucket_key(machine.memory.free))
+        self._bucket_move(self._pres_buckets, self._pres_key, machine,
+                          _ratio_key(machine.memory.pressure))
 
     def _rebucket_cpu(self, machine: Machine) -> None:
         bound = machine.cpu.cores - self._planned[machine.id]
         self._bucket_move(self._cpu_buckets, self._cpu_key, machine,
                           _bucket_key(bound))
+        self._bucket_move(self._ratio_buckets, self._ratio_key_of, machine,
+                          _ratio_key(self._cpu_ratio(machine)))
+
+    def _cpu_ratio(self, machine: Machine) -> float:
+        """Planned CPU commitment per core (a crashed machine's cores
+        are 0; its ratio pins to 0 and health filtering excludes it)."""
+        cores = machine.cpu.cores
+        return self._planned[machine.id] / cores if cores > 0 else 0.0
 
     # -- event hooks ---------------------------------------------------------
     def on_location_change(self, proclet_id: int,
@@ -152,6 +192,26 @@ class MachineIndex:
         """Cached planned CPU demand of *machine* (exact)."""
         return self._planned[machine.id]
 
+    def dirty_cpu_machines(self) -> List[Machine]:
+        """Machines whose CPU scheduler has a pending dirty flush, in
+        cluster (machine-id) order.
+
+        Every dirty scheduler sits on the simulator's pending-flush
+        list (``_mark_dirty`` either flushes immediately or enqueues),
+        so the placement pre-flush — which must replicate the linear
+        scan's flush visit order before the bucketed argmax does its
+        pure reads — costs O(dirty at this instant), not O(fleet).
+        """
+        by_sched = self._machine_by_cpu_sched
+        dirty = []
+        for sched in self.cluster.sim._pending_flushes:
+            if sched._dirty:
+                machine = by_sched.get(id(sched))
+                if machine is not None:
+                    dirty.append(machine)
+        dirty.sort(key=lambda m: m.id)
+        return dirty
+
     def eligible(self, health: Optional[Callable]) -> List[Machine]:
         """Machines that are up and pass *health*, cached between
         invalidating events.  An untracked health callable falls back to
@@ -191,6 +251,60 @@ class MachineIndex:
                 return best
         return None
 
+    # -- load extremes (global-scheduler rounds) -----------------------------
+    @staticmethod
+    def _extreme(buckets: Dict[int, set], value_of, healthy,
+                 lowest: bool) -> Tuple[Optional[Machine], float]:
+        """Exact min/max of *value_of* over healthy machines.
+
+        Equal values always share a bucket (uniform quantization), so
+        the first bucket — scanning ascending for the minimum,
+        descending for the maximum — that contains a healthy machine
+        holds the global extreme.  Tie-breaks mirror the stable
+        full-fleet sort this replaces: the minimum keeps the smallest
+        machine id (first in cluster order), the maximum the largest
+        (last in cluster order).
+        """
+        for key in sorted(buckets, reverse=not lowest):
+            best, best_val = None, 0.0
+            for m in buckets[key]:
+                if not healthy(m):
+                    continue
+                val = value_of(m)
+                if (best is None
+                        or (val < best_val if lowest else val > best_val)
+                        or (val == best_val
+                            and (m.id < best.id if lowest
+                                 else m.id > best.id))):
+                    best, best_val = m, val
+            if best is not None:
+                return best, best_val
+        return None, 0.0
+
+    def pressure_extremes(self, healthy: Callable[[Machine], bool]) \
+            -> Tuple[Optional[Machine], float, Optional[Machine], float]:
+        """``(least, its pressure, most, its pressure)`` over healthy
+        machines — the memory-rebalance round's endpoints, without the
+        per-round full-fleet pressure sort."""
+        low, low_p = self._extreme(self._pres_buckets,
+                                   lambda m: m.memory.pressure, healthy,
+                                   lowest=True)
+        high, high_p = self._extreme(self._pres_buckets,
+                                     lambda m: m.memory.pressure, healthy,
+                                     lowest=False)
+        return low, low_p, high, high_p
+
+    def cpu_ratio_extremes(self, healthy: Callable[[Machine], bool]) \
+            -> Tuple[Optional[Machine], float, Optional[Machine], float]:
+        """``(least, its ratio, most, its ratio)`` of planned CPU per
+        core over healthy machines — the compute-rebalance round's
+        endpoints, off the exact planned-demand cache."""
+        low, low_r = self._extreme(self._ratio_buckets, self._cpu_ratio,
+                                   healthy, lowest=True)
+        high, high_r = self._extreme(self._ratio_buckets, self._cpu_ratio,
+                                     healthy, lowest=False)
+        return low, low_r, high, high_r
+
     def best_for_compute(self, priority, skip: set,
                          healthy: Callable[[Machine], bool]) \
             -> Tuple[Optional[Machine], float]:
@@ -201,8 +315,16 @@ class MachineIndex:
         Scanning buckets in descending order can stop once a bucket's
         upper edge cannot reach the best score seen — everything below
         is strictly worse, so no equal-score smaller-id candidate can
-        hide there.  Returns ``(machine, score)`` with the caller
-        applying the minimum-headroom threshold.
+        hide there.  Within a bucket the same bound prunes per machine,
+        *before* the (fluid-engine) ``free_cores`` query: a machine
+        whose bound cannot beat the best score — strictly smaller, or
+        equal with a larger id (score <= bound, so at best it ties and
+        loses the tie-break) — is skipped on two dict reads.  In a
+        homogeneous fleet, where one bucket holds every idle machine,
+        that turns the expected expensive-query count from O(bucket)
+        into O(log bucket) without changing any choice.  Returns
+        ``(machine, score)`` with the caller applying the
+        minimum-headroom threshold.
         """
         planned = self._planned
         best, best_free = None, 0.0
@@ -210,10 +332,14 @@ class MachineIndex:
             if key == _ZERO_BUCKET or math.ldexp(1.0, key) <= best_free:
                 break
             for m in self._cpu_buckets[key]:
+                bound = m.cpu.cores - planned[m.id]
+                if bound < best_free or (bound == best_free
+                                         and best is not None
+                                         and m.id > best.id):
+                    continue
                 if m in skip or not healthy(m):
                     continue
                 free = m.cpu.free_cores(priority)
-                bound = m.cpu.cores - planned[m.id]
                 if bound < free:
                     free = bound
                 if free > best_free or (best is not None

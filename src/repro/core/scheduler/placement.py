@@ -82,8 +82,10 @@ class PlacementPolicy:
             # Reading free_cores flushes a dirty fluid scheduler, and a
             # flush schedules events (seq numbers!), so the indexed path
             # must replicate the linear scan's flush visit order exactly
-            # before the bucket scan does its pure reads.
-            for m in self.cluster.machines:
+            # before the bucket scan does its pure reads.  The index
+            # finds the dirty schedulers on the simulator's pending-
+            # flush list — O(dirty), not O(fleet).
+            for m in self.index.dirty_cpu_machines():
                 if m in skip or not self._healthy(m):
                     continue
                 sched = m.cpu.sched

@@ -8,6 +8,7 @@ from . import (
     fig2_imbalance,
     fig3_gpu_adapt,
     recovery,
+    serving,
     sweep_burst,
 )
 from .cloning import run_cloning, run_cloning_exec
@@ -15,6 +16,7 @@ from .fig1_filler import Fig1Config, Fig1Result, run_fig1, run_fig1_both
 from .fig2_imbalance import Fig2Row, run_fig2, run_fig2_config
 from .fig3_gpu_adapt import Fig3Config, Fig3Result, run_fig3
 from .recovery import RecoveryRow, run_recovery_ablation, run_recovery_fig2
+from .serving import run_serving, run_serving_exec
 from .sweep_burst import SweepPoint, run_sweep
 
 __all__ = [
@@ -40,6 +42,9 @@ __all__ = [
     "run_cloning",
     "run_cloning_exec",
     "run_fig3",
+    "run_serving",
+    "run_serving_exec",
     "run_sweep",
+    "serving",
     "sweep_burst",
 ]

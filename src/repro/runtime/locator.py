@@ -11,7 +11,7 @@ staleness is resolved lazily on the next call, exactly once per
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..cluster import Machine
 
@@ -26,8 +26,12 @@ class Locator:
     def __init__(self):
         self._table: Dict[int, Machine] = {}
         self._by_machine: Dict[Machine, set] = {}
-        # (caller_machine, proclet_id) -> believed location
-        self._caches: Dict[Tuple[Machine, int], Machine] = {}
+        # proclet_id -> {caller_machine: believed location}.  Keyed by
+        # proclet first so removal drops one inner dict in O(1) instead
+        # of scanning every cached (caller, proclet) pair — at cluster
+        # scale the cache holds O(machines x proclets) entries and a
+        # linear sweep per destroy would dominate control-plane cost.
+        self._caches: Dict[int, Dict[Machine, Machine]] = {}
         self.forwarding_hops = 0
         self._listeners: List[LocationListener] = []
 
@@ -57,10 +61,7 @@ class Locator:
     def remove(self, proclet_id: int) -> None:
         machine = self._table.pop(proclet_id)
         self._by_machine[machine].discard(proclet_id)
-        self._caches = {
-            key: loc for key, loc in self._caches.items()
-            if key[1] != proclet_id
-        }
+        self._caches.pop(proclet_id, None)
         for fn in self._listeners:
             fn(proclet_id, machine, None)
 
@@ -70,11 +71,12 @@ class Locator:
     # -- cached lookups (the remote-invocation path) -----------------------
     def cached_lookup(self, caller: Machine, proclet_id: int) -> Machine:
         """Where *caller* believes the proclet lives (may be stale)."""
-        key = (caller, proclet_id)
-        believed = self._caches.get(key)
+        per_proclet = self._caches.get(proclet_id)
+        if per_proclet is None:
+            per_proclet = self._caches[proclet_id] = {}
+        believed = per_proclet.get(caller)
         if believed is None:
-            believed = self._table[proclet_id]
-            self._caches[key] = believed
+            believed = per_proclet[caller] = self._table[proclet_id]
         return believed
 
     def note_forwarded(self, caller: Machine, proclet_id: int) -> Machine:
@@ -82,7 +84,7 @@ class Locator:
         the authoritative location."""
         self.forwarding_hops += 1
         actual = self._table[proclet_id]
-        self._caches[(caller, proclet_id)] = actual
+        self._caches.setdefault(proclet_id, {})[caller] = actual
         return actual
 
     def proclets_on(self, machine: Machine) -> List[int]:

@@ -212,3 +212,47 @@ class TestCloneService:
         trimmed = svc.latency_summary(since=0.2)
         assert trimmed.count < full.count
         assert trimmed.count > 0
+
+
+class TestUnifiedLatencySummary:
+    """Both services expose the same `since` (virtual-time) trimming
+    contract; LatencyService keeps the legacy `since_index` form."""
+
+    def _run(self):
+        qs = quiet_qs()
+        svc = LatencyService(qs.machines[0], arrival_rate=2000.0,
+                             service_cpu=500 * US)
+        svc.start()
+        qs.run(until=0.4)
+        return svc
+
+    def test_since_trims_by_arrival_time(self):
+        svc = self._run()
+        full = svc.latency_summary()
+        trimmed = svc.latency_summary(since=0.2)
+        assert 0 < trimmed.count < full.count
+        # Exactly the requests that arrived in the kept window.
+        want = [lat for arr, lat in svc.samples if arr >= 0.2]
+        assert trimmed.count == len(want)
+
+    def test_since_index_still_works(self):
+        svc = self._run()
+        full = svc.latency_summary()
+        legacy = svc.latency_summary(since_index=10)
+        assert legacy.count == full.count - 10
+
+    def test_since_zero_equals_untrimmed(self):
+        svc = self._run()
+        assert svc.latency_summary(since=0.0) == svc.latency_summary()
+
+    def test_since_wins_over_since_index(self):
+        svc = self._run()
+        both = svc.latency_summary(since=0.2, since_index=10**6)
+        assert both == svc.latency_summary(since=0.2)
+
+    def test_matches_clone_service_shape(self):
+        """The two services' samples lists are interchangeable."""
+        svc = self._run()
+        assert all(isinstance(arr, float) and isinstance(lat, float)
+                   for arr, lat in svc.samples)
+        assert svc.latencies == [lat for _arr, lat in svc.samples]

@@ -1,0 +1,91 @@
+"""Chaos invariant for the serving scenario: no tenant starves under
+machine faults.
+
+Mid-run, machines crash out from under serving replicas.  The serving
+scheduler's next rounds must respawn the dead fleets through normal
+placement (the crashed machines are ineligible), so by the end every
+tenant that offered load still has live replicas and every in-flight
+request is receiving CPU — :meth:`ServingScenario.check_no_starvation`
+returns no violations.
+"""
+
+import pytest
+
+from repro.apps import ServingScenario, default_tenants
+from repro.units import MS
+
+
+def _scenario(**kwargs):
+    defaults = dict(machines=8, mode="fungible", seed=0,
+                    duration=0.6, warmup=0.1, sched_interval=20 * MS)
+    defaults.update(kwargs)
+    return ServingScenario(default_tenants(4), **defaults)
+
+
+def _inject(sc, fail_at, victims, restore_at=None):
+    def chaos():
+        yield sc.qs.sim.timeout(fail_at)
+        for m in victims:
+            sc.qs.runtime.fail_machine(m)
+        if restore_at is not None:
+            yield sc.qs.sim.timeout(restore_at - fail_at)
+            for m in victims:
+                sc.qs.runtime.restore_machine(m)
+    sc.qs.sim.process(chaos(), name="chaos")
+
+
+class TestStarvationInvariant:
+    @pytest.mark.parametrize("n_victims", [1, 2])
+    def test_no_tenant_starves_after_machine_crashes(self, n_victims):
+        sc = _scenario()
+        victims = sc.qs.machines[:n_victims]
+        _inject(sc, fail_at=0.25, victims=victims)
+        sc.run()
+        assert sc.check_no_starvation() == []
+        for t in sc.tenants:
+            assert t.live_replicas(), \
+                f"{t.spec.name} never recovered a replica"
+
+    def test_replicas_respawn_off_the_dead_machines(self):
+        sc = _scenario()
+        victims = sc.qs.machines[:2]
+        _inject(sc, fail_at=0.25, victims=victims)
+        sc.run()
+        down = set(victims)
+        for t in sc.tenants:
+            for _ref, p in t.live_replicas():
+                assert p.machine not in down
+
+    def test_service_continues_after_the_fault(self):
+        sc = _scenario()
+        _inject(sc, fail_at=0.3, victims=sc.qs.machines[:2])
+        # Snapshot completions just after the fault, compare at the end.
+        after_fault = {}
+
+        def probe():
+            yield sc.qs.sim.timeout(0.35)
+            for t in sc.tenants:
+                after_fault[t.spec.name] = t.completed
+        sc.qs.sim.process(probe(), name="probe")
+        sc.run()
+        for t in sc.tenants:
+            assert t.completed > after_fault[t.spec.name], \
+                f"{t.spec.name} stopped completing requests post-fault"
+
+    def test_restored_machine_rejoins_placement(self):
+        sc = _scenario(duration=0.8)
+        victim = sc.qs.machines[0]
+        _inject(sc, fail_at=0.2, victims=[victim], restore_at=0.4)
+        sc.run()
+        assert victim.up
+        assert sc.check_no_starvation() == []
+
+    def test_lost_requests_are_counted_not_hung(self):
+        sc = _scenario()
+        _inject(sc, fail_at=0.3, victims=sc.qs.machines[:2])
+        sc.run()
+        failed = sum(t.failed for t in sc.tenants)
+        assert failed > 0  # the crash really hit in-flight work
+        for t in sc.tenants:
+            # Nothing leaks: every admitted request resolved or is live.
+            assert t.completed + t.failed + t.inflight == t.admitted

@@ -1,0 +1,220 @@
+"""Health-churn properties for the bucketed :class:`MachineIndex`.
+
+The index answers placement queries from event-driven buckets and a
+cached eligible list; the failure detector's ``ALIVE -> SUSPECTED ->
+DEAD -> ALIVE`` transitions are among the events that must keep those
+caches honest.  Under arbitrary interleavings of spawn / destroy /
+machine crash / restore / detector heartbeats, every query must
+
+* never surface a machine the health gate excludes (down, suspected,
+  or confirmed dead but not yet re-probed after a restore), and
+* agree *exactly* — same winner, same tie-break — with the brute-force
+  scan over the live fleet that it replaced.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineSpec
+from repro.cluster import Priority
+from repro.ft import RecoveryConfig
+from repro.units import GiB, MS
+
+from ..conftest import make_qs
+
+HEARTBEAT = 2 * MS
+N_MACHINES = 6
+
+
+def build_qs():
+    machines = [MachineSpec(name=f"m{i}", cores=float(2 + 2 * (i % 3)),
+                            dram_bytes=float((1 + i % 2) * GiB))
+                for i in range(N_MACHINES)]
+    qs = make_qs(machines=machines,
+                 enable_local_scheduler=False,
+                 enable_global_scheduler=False,
+                 enable_split_merge=False)
+    qs.enable_recovery(RecoveryConfig(heartbeat_interval=HEARTBEAT,
+                                      suspect_after=2, confirm_after=4))
+    return qs
+
+
+# -- brute-force oracles (cluster order == ascending machine id) -----------
+def brute_planned(qs, machine):
+    total = 0.0
+    for pid in qs.runtime.locator.proclets_on(machine):
+        p = qs.runtime._proclets.get(pid)
+        if p is not None:
+            total += getattr(p, "parallelism", 0) or 0
+    return total
+
+
+def brute_ratio(qs, machine):
+    cores = machine.cpu.cores
+    return brute_planned(qs, machine) / cores if cores > 0 else 0.0
+
+
+def brute_extremes(qs, value_of, healthy):
+    """(least, val, most, val) with the index's tie-breaks: the minimum
+    keeps the smallest machine id, the maximum the largest."""
+    low = high = None
+    low_v = high_v = 0.0
+    for m in qs.machines:
+        if not healthy(m):
+            continue
+        val = value_of(m)
+        if low is None or val < low_v:
+            low, low_v = m, val
+        if high is None or val >= high_v:
+            high, high_v = m, val
+    return low, low_v, high, high_v
+
+
+def brute_best_memory(qs, nbytes, healthy):
+    best = None
+    for m in qs.machines:
+        if not healthy(m):
+            continue
+        free = m.memory.free
+        if free < nbytes:
+            continue
+        if best is None or free > best.memory.free:
+            best = m
+    return best
+
+
+def brute_best_compute(qs, healthy):
+    best, best_free = None, 0.0
+    for m in qs.machines:
+        if not healthy(m):
+            continue
+        free = min(m.cpu.free_cores(Priority.NORMAL),
+                   m.cpu.cores - brute_planned(qs, m))
+        if free > best_free:
+            best, best_free = m, free
+    return best, best_free
+
+
+def check_index_against_brute_force(qs):
+    index = qs.machine_index
+    health = qs.placement.health
+    healthy = qs.placement._healthy
+
+    got = index.eligible(health)
+    want = [m for m in qs.machines if m.up and health(m)]
+    assert got == want
+    assert all(m.up and health(m) for m in got)
+
+    low, low_p, high, high_p = index.pressure_extremes(healthy)
+    blow, blow_p, bhigh, bhigh_p = brute_extremes(
+        qs, lambda m: m.memory.pressure, healthy)
+    assert (low, high) == (blow, bhigh)
+    assert (low_p, high_p) == (blow_p, bhigh_p)
+
+    low, low_r, high, high_r = index.cpu_ratio_extremes(healthy)
+    blow, blow_r, bhigh, bhigh_r = brute_extremes(
+        qs, lambda m: brute_ratio(qs, m), healthy)
+    assert (low, high) == (blow, bhigh)
+    assert (low_r, high_r) == (blow_r, bhigh_r)
+    for m in (low, high):
+        if m is not None:
+            assert m.up and healthy(m)
+
+    assert index.best_for_memory(64 * 1024, set(), healthy) \
+        is brute_best_memory(qs, 64 * 1024, healthy)
+    got_m, got_free = index.best_for_compute(Priority.NORMAL, set(),
+                                             healthy)
+    want_m, want_free = brute_best_compute(qs, healthy)
+    assert got_m is want_m
+    assert got_free == want_free
+
+    for m in qs.machines:
+        assert index.planned(m) == brute_planned(qs, m)
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("spawn"), st.integers(1, 3)),
+        st.tuples(st.just("spawn_mem"), st.just(0)),
+        st.tuples(st.just("destroy"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("fail"), st.integers(0, N_MACHINES - 1)),
+        st.tuples(st.just("restore"), st.integers(0, N_MACHINES - 1)),
+        # 1..6 heartbeats: enough to cross suspect (2) and confirm (4)
+        # thresholds in a single hop or split them across ops.
+        st.tuples(st.just("ticks"), st.integers(1, 6)),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+class TestChurnProperties:
+    @given(_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_queries_match_brute_force_under_health_churn(self, ops):
+        qs = build_qs()
+        refs = []
+        for op in ops:
+            kind, arg = op
+            if kind == "spawn" and qs.eligible_machines():
+                refs.append(qs.spawn_compute(parallelism=arg))
+            elif kind == "spawn_mem" and qs.eligible_machines():
+                refs.append(qs.spawn_memory())
+            elif kind == "destroy" and refs:
+                qs.runtime.destroy(refs.pop(arg % len(refs)))
+            elif kind == "fail":
+                qs.runtime.fail_machine(qs.machines[arg])
+            elif kind == "restore":
+                qs.runtime.restore_machine(qs.machines[arg])
+            elif kind == "ticks":
+                qs.run(until=qs.sim.now + arg * HEARTBEAT)
+            check_index_against_brute_force(qs)
+
+    @given(st.integers(0, N_MACHINES - 1), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_down_machine_never_surfaces_at_any_detector_stage(
+            self, victim_idx, ticks):
+        """At every point of the fail -> suspect -> confirm -> restore ->
+        alive walk, a non-ALIVE machine is invisible to every query."""
+        qs = build_qs()
+        victim = qs.machines[victim_idx]
+        detector = qs.recovery.detector
+        qs.runtime.fail_machine(victim)
+        qs.run(until=qs.sim.now + ticks * HEARTBEAT)
+        check_index_against_brute_force(qs)
+        assert victim not in qs.eligible_machines()
+        qs.runtime.restore_machine(victim)
+        # Up again, but the detector has not re-probed: while the state
+        # is still SUSPECTED/DEAD the health gate must keep excluding it.
+        if detector.is_suspected(victim):
+            assert victim not in qs.eligible_machines()
+        check_index_against_brute_force(qs)
+        qs.run(until=qs.sim.now + 2 * HEARTBEAT)
+        assert not detector.is_suspected(victim)
+        assert victim in qs.eligible_machines()
+        check_index_against_brute_force(qs)
+
+
+class TestChurnRegression:
+    def test_full_state_machine_walk(self):
+        """Deterministic fail -> suspect -> dead -> revive walk with the
+        index checked at each labelled stage."""
+        qs = build_qs()
+        detector = qs.recovery.detector
+        for _ in range(4):
+            qs.spawn_compute(parallelism=2)
+        victim = qs.machines[2]
+        check_index_against_brute_force(qs)
+
+        qs.runtime.fail_machine(victim)          # down, not yet suspected
+        check_index_against_brute_force(qs)
+        qs.run(until=qs.sim.now + 2.5 * HEARTBEAT)   # -> SUSPECTED
+        assert detector.is_suspected(victim)
+        check_index_against_brute_force(qs)
+        qs.run(until=qs.sim.now + 2 * HEARTBEAT)     # -> DEAD
+        check_index_against_brute_force(qs)
+        qs.runtime.restore_machine(victim)       # up, still DEAD state
+        check_index_against_brute_force(qs)
+        assert victim not in qs.eligible_machines()
+        qs.run(until=qs.sim.now + 2 * HEARTBEAT)     # -> ALIVE
+        assert victim in qs.eligible_machines()
+        check_index_against_brute_force(qs)

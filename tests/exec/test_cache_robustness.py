@@ -1,0 +1,129 @@
+"""Cache robustness at the ``run_specs`` level.
+
+:mod:`tests.exec.test_cache` proves a corrupt or version-skewed entry
+is a *miss* at the :class:`ResultCache` layer; these tests prove the
+engine built on top behaves: a poisoned cache never crashes or changes
+a grid's results — the damaged points silently re-run and the repaired
+entries serve the next sweep.  The report digest must be a function of
+the result values alone, never of which cells happened to hit.
+"""
+
+import os
+
+from repro.exec import ResultCache, RunSpec, run_specs
+from repro.exec.tasks import rng_walk_task
+
+
+def _grid(n=4):
+    return [RunSpec(rng_walk_task, {"seed": s, "steps": 32},
+                    name=f"walk.{s}") for s in range(n)]
+
+
+def _cache(tmp_path, version="1"):
+    return ResultCache(str(tmp_path / "cache"), version=version)
+
+
+def _corrupt(cache, spec, mode):
+    path = cache.path_for(spec.digest(cache.version))
+    if mode == "truncate":
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+    elif mode == "garbage":
+        with open(path, "wb") as fh:
+            fh.write(b"\x00garbage, not a pickle")
+    else:
+        raise ValueError(mode)
+    return path
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_reruns_and_heals(self, tmp_path):
+        specs = _grid()
+        cache = _cache(tmp_path)
+        first = run_specs(specs, cache=cache)
+        assert (first.hits, first.misses) == (0, len(specs))
+
+        _corrupt(cache, specs[1], "truncate")
+        again = run_specs(specs, cache=cache)
+        assert (again.hits, again.misses) == (len(specs) - 1, 1)
+        assert again.values() == first.values()
+        # The re-run overwrote the damaged entry: next sweep is pure hits.
+        healed = run_specs(specs, cache=cache)
+        assert (healed.hits, healed.misses) == (len(specs), 0)
+
+    def test_garbage_entry_reruns_not_crashes(self, tmp_path):
+        specs = _grid()
+        cache = _cache(tmp_path)
+        first = run_specs(specs, cache=cache)
+        _corrupt(cache, specs[0], "garbage")
+        again = run_specs(specs, cache=cache)
+        assert again.values() == first.values()
+        assert again.misses == 1
+
+    def test_every_entry_corrupt_still_completes(self, tmp_path):
+        specs = _grid()
+        cache = _cache(tmp_path)
+        first = run_specs(specs, cache=cache)
+        for spec in specs:
+            _corrupt(cache, spec, "truncate")
+        again = run_specs(specs, cache=cache)
+        assert (again.hits, again.misses) == (0, len(specs))
+        assert again.values() == first.values()
+
+
+class TestVersionSkew:
+    def test_stale_version_header_is_miss_not_crash(self, tmp_path):
+        specs = _grid()
+        old = _cache(tmp_path, version="1")
+        first = run_specs(specs, cache=old)
+        # Same root, new code version: every old entry is skew, the
+        # grid re-runs cleanly, and both versions' entries coexist
+        # (digests include the version, so addresses differ too).
+        new = ResultCache(old.root, version="2")
+        again = run_specs(specs, cache=new)
+        assert (again.hits, again.misses) == (0, len(specs))
+        assert again.values() == first.values()
+        warm = run_specs(specs, cache=new)
+        assert (warm.hits, warm.misses) == (len(specs), 0)
+
+    def test_forged_stale_entry_at_new_address_is_miss(self, tmp_path):
+        """Even an entry sitting at the *new* version's address is
+        rejected when its payload header names the old version."""
+        specs = _grid(1)
+        old = _cache(tmp_path, version="1")
+        new = ResultCache(old.root, version="2")
+        run_specs(specs, cache=old)
+        old_path = old.path_for(specs[0].digest(old.version))
+        new_path = new.path_for(specs[0].digest(new.version))
+        os.makedirs(os.path.dirname(new_path), exist_ok=True)
+        os.rename(old_path, new_path)
+        report = run_specs(specs, cache=new)
+        assert (report.hits, report.misses) == (0, 1)
+
+
+class TestDigestInsensitiveToHitMissMix:
+    def test_digest_constant_across_cold_warm_and_poisoned(self, tmp_path):
+        specs = _grid()
+        cache = _cache(tmp_path)
+        uncached = run_specs(specs)            # no cache at all
+        cold = run_specs(specs, cache=cache)   # all misses
+        warm = run_specs(specs, cache=cache)   # all hits
+        _corrupt(cache, specs[2], "truncate")
+        mixed = run_specs(specs, cache=cache)  # hits + one re-run
+        digests = {r.digest() for r in (uncached, cold, warm, mixed)}
+        assert len(digests) == 1
+        # The mixes really differed — the digest just doesn't care.
+        assert [r.cached for r in warm.results] != \
+            [r.cached for r in mixed.results]
+
+    def test_digest_constant_across_jobs_with_partial_cache(self, tmp_path):
+        specs = _grid(6)
+        cache = _cache(tmp_path)
+        serial = run_specs(specs, jobs=1, cache=cache)
+        for spec in specs[::2]:
+            _corrupt(cache, spec, "garbage")
+        parallel = run_specs(specs, jobs=4, cache=cache)
+        assert parallel.misses == 3
+        assert parallel.digest() == serial.digest()

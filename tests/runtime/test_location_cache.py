@@ -87,5 +87,4 @@ class TestForwarding:
         ref = qs.spawn(Echo(), m1)
         qs.run(until_event=ref.call("ping", caller_machine=m0))
         qs.runtime.destroy(ref)
-        assert all(key[1] != ref.proclet_id
-                   for key in qs.runtime.locator._caches)
+        assert ref.proclet_id not in qs.runtime.locator._caches
