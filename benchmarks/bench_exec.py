@@ -5,9 +5,11 @@ from disk (it serves 100%), and a parallel execution of the sweep grid
 must be digest-identical to the serial one.
 
 ``python benchmarks/bench_exec.py`` half: measures the sweep wall time
-at --jobs 1 vs --jobs 4 and writes ``BENCH_exec.json``.  The >= 2.5x
-speedup bar only applies on machines with >= 4 cores — a single-core
-runner records its honest (~1x) number and the assertion is skipped.
+at --jobs 1 vs --jobs 4 (reps interleaved so machine-load drift hits
+both settings equally) and writes ``BENCH_exec.json`` with the core
+count and methodology alongside the numbers.  The >= 2.5x speedup bar
+only applies on machines with >= 4 cores; below 2 cores no speedup
+verdict is recorded at all — only wall times and digest equality.
 """
 
 import json
@@ -63,27 +65,44 @@ def test_parallel_sweep_digest_matches_serial(benchmark):
 def main() -> None:  # pragma: no cover - measurement entry point
     cores = os.cpu_count() or 1
     kwargs = {"periods_per_run": 12}
-    out = {"cores": cores, "bursts_ms": [b * 1e3 for b in _BURSTS]}
-    for jobs in (1, 4):
-        best = float("inf")
-        digest = None
-        for _ in range(3):
+    out = {
+        "cores": cores,
+        "bursts_ms": [b * 1e3 for b in _BURSTS],
+        "methodology": (
+            "3 reps per jobs setting, interleaved (1,4,1,4,...) so load "
+            "drift hits both equally; wall_s is best-of-3; speedup verdict "
+            "skipped when cores < 2 (a single-core box cannot measure "
+            "parallel speedup, only digest equality)"),
+    }
+    best = {1: float("inf"), 4: float("inf")}
+    digest = {}
+    for _ in range(3):
+        for jobs in (1, 4):
             t0 = time.perf_counter()
             _points, rep = run_sweep_exec(jobs=jobs, **kwargs)
-            best = min(best, time.perf_counter() - t0)
-            digest = rep.digest()
-        out[f"jobs{jobs}_wall_s"] = round(best, 3)
-        out[f"jobs{jobs}_digest"] = digest
-        print(f"jobs={jobs}: {best:.2f}s  digest={digest[:16]}…")
-    out["speedup"] = round(out["jobs1_wall_s"] / out["jobs4_wall_s"], 2)
+            best[jobs] = min(best[jobs], time.perf_counter() - t0)
+            digest[jobs] = rep.digest()
+    for jobs in (1, 4):
+        out[f"jobs{jobs}_wall_s"] = round(best[jobs], 3)
+        out[f"jobs{jobs}_digest"] = digest[jobs]
+        print(f"jobs={jobs}: {best[jobs]:.2f}s  digest={digest[jobs][:16]}…")
     assert out["jobs1_digest"] == out["jobs4_digest"], \
         "parallel sweep diverged from serial"
-    print(f"speedup: {out['speedup']}x on {cores} cores")
-    if cores >= 4:
-        assert out["speedup"] >= 2.5, \
-            f"expected >=2.5x on {cores} cores, got {out['speedup']}x"
+    if cores < 2:
+        out["speedup"] = None
+        out["speedup_verdict"] = f"skipped: {cores} core(s) < 2"
+        print(f"(speedup verdict skipped on {cores} core(s): wall times "
+              "recorded, digests checked)")
     else:
-        print("(<4 cores: speedup bar not applicable, recording as-is)")
+        out["speedup"] = round(out["jobs1_wall_s"] / out["jobs4_wall_s"], 2)
+        print(f"speedup: {out['speedup']}x on {cores} cores")
+        if cores >= 4:
+            assert out["speedup"] >= 2.5, \
+                f"expected >=2.5x on {cores} cores, got {out['speedup']}x"
+            out["speedup_verdict"] = "ok (>=2.5x bar on >=4 cores)"
+        else:
+            out["speedup_verdict"] = (
+                f"recorded as-is ({cores} cores: 2.5x bar needs >=4)")
     path = os.path.join(os.path.dirname(__file__), "..", "BENCH_exec.json")
     with open(os.path.abspath(path), "w") as fh:
         json.dump(out, fh, indent=2, sort_keys=True)

@@ -118,11 +118,12 @@ def scenario_fairshare(quick: bool):
     pollers read ``load``/``free_capacity`` far more often than rates
     change.  Tightened alongside the hot-loop pass: two pollers (one
     per placement tier) on a faster cadence and larger waves, so the
-    dispatch loop — not the mutation rate — dominates, which is what
-    the CI gate needs to pin.
+    dispatch loop — not the mutation rate — dominates.  Widened again
+    with the vector core: each completion rebalances the whole wave,
+    so per-item recompute cost is what this gate pins now.
     """
     waves = 6 if quick else 16
-    per_wave = 160
+    per_wave = 320
     sim = Simulator(seed=11)
     sched = FluidScheduler(sim, 100.0, name="fair")
     ops = 0
@@ -196,10 +197,12 @@ def scenario_timerstorm(quick: bool):
 
     Long flows whose rates are perturbed every 100µs by capacity jitter
     — each perturbation supersedes the pending completion timer.  A
-    short-lived pulse item keeps real completions interleaved.
+    short-lived pulse item keeps real completions interleaved.  The
+    flow count is sized so each perturbation's water-fill over the
+    class — not the timer traffic — is the dominant cost.
     """
     rounds = 1500 if quick else 5000
-    flows = 50
+    flows = 250
     sim = Simulator(seed=17)
     sched = FluidScheduler(sim, 10.0, name="storm")
     ops = 0

@@ -40,7 +40,11 @@ class Event:
 
     def __init__(self, sim: "Simulator"):  # noqa: F821 (forward ref)
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # Lazily allocated: most events (timeouts on the poller hot path)
+        # collect exactly one subscriber, many collect none.  ``None``
+        # means "no subscribers yet" *or* "already processed" — check
+        # ``_processed`` to distinguish.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = PENDING
         self._ok: bool = True
         self._processed = False
@@ -111,8 +115,11 @@ class Event:
         if self._processed:
             callback(self)
         else:
-            assert self.callbacks is not None
-            self.callbacks.append(callback)
+            cbs = self.callbacks
+            if cbs is None:
+                self.callbacks = [callback]
+            else:
+                cbs.append(callback)
 
     def unsubscribe(self, callback: Callable[["Event"], None]) -> None:
         """Remove a previously registered callback (no-op if absent)."""
@@ -124,7 +131,11 @@ class Event:
 
     # -- kernel hook ------------------------------------------------------
     def _process(self) -> None:
-        """Run callbacks.  Called by the simulator only."""
+        """Run callbacks.  Called by the simulator only.
+
+        ``Simulator.run`` inlines this body in its dispatch loop (no
+        Event subclass overrides it); keep the two in sync.
+        """
         callbacks, self.callbacks = self.callbacks, None
         self._processed = True
         if callbacks:
@@ -146,12 +157,20 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim, delay: float, value: Any = None):
+        # Timeouts are the single most-constructed object in poller-heavy
+        # workloads; the base __init__ is inlined (and the PENDING dance
+        # skipped — a timeout is born triggered) to keep construction to
+        # plain slot stores.
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = None
         self._ok = True
         self._value = value
+        self._processed = False
+        self._cancelled = False
+        self._wheel = False
+        self.delay = delay
         sim._schedule(self, delay)
 
 

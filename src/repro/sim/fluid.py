@@ -46,20 +46,77 @@ per-class candidate lists instead of a full item scan.  Superseded
 completion timers are truly cancelled on the simulator queue (see
 :meth:`Simulator.cancel`) instead of being left to fire as no-ops.
 See ``docs/kernel.md`` for the exactness argument.
+
+Water-fill formulation
+----------------------
+
+A class fill sorts its members by demand (ascending, stable on bucket
+order) and finds the split index ``k``: the first member whose demand
+cannot be met if every later member received at least as much.  Members
+before ``k`` are *constrained* (rate = demand); members from ``k`` on
+split the leftover capacity evenly (rate = one identical ``share``
+float).  The test is a prefix-sum: member ``i`` is constrained iff
+``d[i] * (n - i) <= capacity - csum[i]`` where ``csum[i]`` is the sum of
+demands before ``i``.  This closed form is chosen over the classic
+sequential ``cap -= rate`` loop because every float operation in it maps
+one-to-one onto a numpy kernel (stable argsort, sequential cumsum,
+elementwise multiply/divide), which is what lets the optional vector
+core (below) produce bit-identical trajectories.
+
+Vector core
+-----------
+
+``REPRO_VECTOR_FLUID=1`` (or ``FluidScheduler(..., vector=True)``)
+selects :class:`repro.sim.vecfluid.VectorFluidScheduler`, a
+struct-of-arrays numpy engine behind this exact API: per-item
+remaining/rate/demand live in flat arrays indexed by stable slots,
+fills and completion scans run as array kernels, and
+:class:`FluidItem` becomes a thin handle.  Trajectories are
+bit-identical with the toggle on or off (enforced like the timer
+wheel's gate, by chaos digest replay); when numpy is not installed the
+toggle silently keeps this pure-python engine, so the core library
+retains its no-numpy invariant (see ``metrics/stats.py``).
 """
 
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, Dict, Iterable, List, Optional
 
 from .errors import UnboundResource
-from .events import Event
+from .events import Event, Timeout
 from .simulator import Simulator
 
 _EPS = 1e-12
 #: Work remaining below this is considered complete (guards float drift).
 _DONE_TOL = 1e-9
+
+
+def _vector_default() -> bool:
+    return os.environ.get("REPRO_VECTOR_FLUID", "0").strip().lower() \
+        in ("1", "true", "on", "yes")
+
+
+#: Lazily resolved VectorFluidScheduler class, or False once resolution
+#: failed (numpy absent) so the import is attempted at most once.
+_VEC_CLS = None
+
+
+def _vector_cls():
+    global _VEC_CLS
+    if _VEC_CLS is None:
+        try:
+            from .vecfluid import VectorFluidScheduler
+            _VEC_CLS = VectorFluidScheduler
+        except ImportError:
+            _VEC_CLS = False
+    return _VEC_CLS or None
+
+
+def vector_supported() -> bool:
+    """True when the optional numpy vector core is importable."""
+    return _vector_cls() is not None
 
 
 class FluidItem:
@@ -138,9 +195,36 @@ class FluidItem:
 
 
 class FluidScheduler:
-    """Strict-priority, max-min-fair rate scheduler over one capacity."""
+    """Strict-priority, max-min-fair rate scheduler over one capacity.
 
-    def __init__(self, sim: Simulator, capacity: float, name: str = "fluid"):
+    Constructing ``FluidScheduler(...)`` may actually build a
+    :class:`repro.sim.vecfluid.VectorFluidScheduler` — the numpy
+    struct-of-arrays engine — when ``vector=True`` is passed or the
+    ``REPRO_VECTOR_FLUID`` environment variable enables it (and numpy is
+    importable; otherwise this pure-python engine is used silently).
+    The two produce bit-identical trajectories.
+    """
+
+    #: True on the numpy vector engine subclass.
+    vectorized = False
+    #: Item class the engine hands out (the vector engine substitutes a
+    #: slot-backed handle subclass).
+    _item_cls = FluidItem
+
+    def __new__(cls, sim: Simulator, capacity: float = 0.0,
+                name: str = "fluid", vector: Optional[bool] = None):
+        if cls is FluidScheduler:
+            want = _vector_default() if vector is None else vector
+            if want:
+                vec = _vector_cls()
+                if vec is not None:
+                    return object.__new__(vec)
+        return object.__new__(cls)
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "fluid",
+                 vector: Optional[bool] = None):
+        # ``vector`` is consumed by __new__; accepted here so the
+        # signature matches the constructor call.
         if capacity < 0:
             raise ValueError(f"negative capacity: {capacity}")
         self.sim = sim
@@ -168,12 +252,22 @@ class FluidScheduler:
         self._dirty_classes: set = set()
         self._cap_in: Dict[int, float] = {}
         self._eta_candidates: Dict[int, List[FluidItem]] = {}
+        # Per-class count of finite-work items: a holds-only class (all
+        # ``math.inf``) skips ETA candidate builds and settle advances.
+        self._finite: Dict[int, int] = {}
+        # Items that may need a service-start stamp at the next rate
+        # change, per class — so _reassign stamps O(new items) instead
+        # of rescanning whole buckets.
+        self._pending_start: Dict[int, List[FluidItem]] = {}
+        # free_capacity(priority) memo, invalidated by every reassign.
+        self._free_cache: Optional[Dict[int, float]] = None
         # Coalesced-reassignment state.
         self._dirty = False
         self._structure_changed = False
         self._flush_scheduled = False
         self._in_flush = False
         self._timer: Optional[Event] = None
+        self._on_timer_cb = self._on_timer
         # Integral of served rate over time, total and per priority class.
         self.served_integral = 0.0
         self.served_by_priority: Dict[int, float] = {}
@@ -204,8 +298,8 @@ class FluidScheduler:
             raise ValueError(f"negative work: {work}")
         if demand <= 0:
             raise ValueError(f"demand must be positive: {demand}")
-        item = FluidItem(self, name or f"{self.name}-item", work, demand,
-                         priority, owner=owner)
+        item = self._item_cls(self, name or f"{self.name}-item", work, demand,
+                              priority, owner=owner)
         if work <= _DONE_TOL:
             item._sched = None
             item.remaining = 0.0
@@ -218,8 +312,8 @@ class FluidScheduler:
     def hold(self, demand: float, priority: int = 1, name: str = "",
              owner=None) -> FluidItem:
         """Submit an unbounded item that runs until cancelled."""
-        item = FluidItem(self, name or f"{self.name}-hold", math.inf, demand,
-                         priority, owner=owner)
+        item = self._item_cls(self, name or f"{self.name}-hold", math.inf,
+                              demand, priority, owner=owner)
         self._insert(item)
         return item
 
@@ -278,12 +372,19 @@ class FluidScheduler:
         self._cap_in.clear()
         self._rate_sum.clear()
         self._eta_candidates.clear()
+        self._finite.clear()
+        self._pending_start.clear()
         self._structure_changed = True
         for item in items:
+            self._discard(item)
             item._sched = None
             item._rate = 0.0
             item.done.fail(exc)
         self._mark_dirty()
+
+    def _discard(self, item: FluidItem) -> None:
+        """Engine hook: per-item teardown during :meth:`fail_all` (the
+        vector engine releases the item's array slot here)."""
 
     # -- tuning ---------------------------------------------------------------
     def set_demand(self, item: FluidItem, demand: float) -> None:
@@ -293,8 +394,13 @@ class FluidScheduler:
             raise ValueError(f"demand must be positive: {demand}")
         self._demand_total += float(demand) - item.demand
         item.demand = float(demand)
+        self._set_demand_hook(item)
         self._dirty_classes.add(item.priority)
         self._mark_dirty()
+
+    def _set_demand_hook(self, item: FluidItem) -> None:
+        """Engine hook: mirror a demand change into engine state before
+        the flush (the vector engine updates its demand array)."""
 
     def set_priority(self, item: FluidItem, priority: int) -> None:
         if item._sched is not self:
@@ -304,23 +410,33 @@ class FluidScheduler:
         old = item.priority
         item.priority = int(priority)
         if item.priority != old:
+            new = item.priority
+            finite = item.remaining != math.inf
             del self._buckets[old][item]
             if not self._buckets[old]:
                 del self._buckets[old]
                 self._rate_sum.pop(old, None)
                 self._cap_in.pop(old, None)
                 self._eta_candidates.pop(old, None)
+                self._finite.pop(old, None)
+                self._pending_start.pop(old, None)
             else:
                 self._dirty_classes.add(old)
+                if finite:
+                    self._finite[old] -= 1
             # Rebuild the destination bucket from _items so the bucket
             # keeps submission order (identical to the eager engine's
             # rebuild-from-scratch behaviour).
-            self._buckets[item.priority] = {
+            self._buckets[new] = {
                 it: None for it in self._items
-                if it.priority == item.priority
+                if it.priority == new
             }
             self._prio_order = sorted(self._buckets)
-            self._dirty_classes.add(item.priority)
+            self._dirty_classes.add(new)
+            if finite:
+                self._finite[new] = self._finite.get(new, 0) + 1
+            if item.started_at is None:
+                self._pending_start.setdefault(new, []).append(item)
             self._structure_changed = True
         self._mark_dirty()
 
@@ -349,15 +465,26 @@ class FluidScheduler:
         squeezing anyone: total capacity minus the rates of items at this
         priority or more urgent.  This is the signal placement policies
         use ("how many idle cores does this machine have for me?").
-        O(#priority classes) thanks to cached per-class rate sums."""
+        O(#priority classes) thanks to cached per-class rate sums, and
+        memoized per priority between reassignments — pollers that probe
+        the same class every tick pay a dict hit."""
         if self._dirty:
             self._flush()
+        cache = self._free_cache
+        if cache is None:
+            cache = self._free_cache = {}
+        else:
+            hit = cache.get(priority)
+            if hit is not None:
+                return hit
         used = 0.0
         rate_sum = self._rate_sum
         for prio in self._prio_order:
             if prio <= priority:
                 used += rate_sum[prio]
-        return max(0.0, self._capacity - used)
+        free = max(0.0, self._capacity - used)
+        cache[priority] = free
+        return free
 
     def utilization_since(self, t0: float, integral0: float) -> float:
         """Mean utilization in [t0, now] given a prior integral snapshot."""
@@ -377,30 +504,39 @@ class FluidScheduler:
 
     # -- engine ------------------------------------------------------------------
     def _insert(self, item: FluidItem) -> None:
+        prio = item.priority
         self._items[item] = None
-        bucket = self._buckets.get(item.priority)
+        bucket = self._buckets.get(prio)
         if bucket is None:
-            self._buckets[item.priority] = {item: None}
+            self._buckets[prio] = {item: None}
             self._prio_order = sorted(self._buckets)
         else:
             bucket[item] = None
         self._demand_total += item.demand
-        self._dirty_classes.add(item.priority)
+        self._dirty_classes.add(prio)
+        if item.remaining != math.inf:
+            self._finite[prio] = self._finite.get(prio, 0) + 1
+        self._pending_start.setdefault(prio, []).append(item)
         self._structure_changed = True
         self._mark_dirty()
 
     def _remove(self, item: FluidItem) -> None:
+        prio = item.priority
         del self._items[item]
-        bucket = self._buckets[item.priority]
+        bucket = self._buckets[prio]
         del bucket[item]
         if not bucket:
-            del self._buckets[item.priority]
+            del self._buckets[prio]
             self._prio_order = sorted(self._buckets)
-            self._rate_sum.pop(item.priority, None)
-            self._cap_in.pop(item.priority, None)
-            self._eta_candidates.pop(item.priority, None)
+            self._rate_sum.pop(prio, None)
+            self._cap_in.pop(prio, None)
+            self._eta_candidates.pop(prio, None)
+            self._finite.pop(prio, None)
+            self._pending_start.pop(prio, None)
         else:
-            self._dirty_classes.add(item.priority)
+            self._dirty_classes.add(prio)
+            if item.remaining != math.inf:
+                self._finite[prio] -= 1
         self._demand_total -= item.demand
         if not self._items:
             self._demand_total = 0.0  # clamp accumulated float drift
@@ -441,7 +577,13 @@ class FluidScheduler:
             self._in_flush = False
 
     def _settle(self) -> None:
-        """Advance every item's remaining work to the current time."""
+        """Advance served-work accounting and remaining work to now.
+
+        Accounting is O(#priority classes): the per-class rate sums are
+        exact caches, so the served integrals come from them rather than
+        an item scan.  Only classes that actually hold finite-work items
+        pay the per-item ``remaining`` advance.
+        """
         now = self.sim.now
         elapsed = now - self._last_update
         if elapsed <= 0:
@@ -450,16 +592,27 @@ class FluidScheduler:
         if self._load == 0.0 or not self._items:
             return  # provably no service since the last update
         served = self.served_by_priority
-        total_rate = 0.0
-        for it in self._items:
-            rate = it._rate
-            if rate > 0:
-                if it.remaining is not math.inf:
-                    it.remaining = max(0.0, it.remaining - rate * elapsed)
-                served[it.priority] = served.get(it.priority, 0.0) \
-                    + rate * elapsed
-                total_rate += rate
-        self.served_integral += total_rate * elapsed
+        rate_sum = self._rate_sum
+        total = 0.0
+        for prio in self._prio_order:
+            rs = rate_sum.get(prio, 0.0)
+            if rs > 0.0:
+                served[prio] = served.get(prio, 0.0) + rs * elapsed
+                total += rs
+        self.served_integral += total * elapsed
+        self._advance_remaining(elapsed)
+
+    def _advance_remaining(self, elapsed: float) -> None:
+        """Engine hook: decrement every served item's remaining work by
+        ``rate * elapsed`` (clamped at zero; holds stay infinite)."""
+        finite = self._finite
+        buckets = self._buckets
+        for prio in self._prio_order:
+            if finite.get(prio, 0):
+                for it in buckets[prio]:
+                    rate = it._rate
+                    if rate > 0.0 and it.remaining != math.inf:
+                        it.remaining = max(0.0, it.remaining - rate * elapsed)
 
     def _reassign(self) -> None:
         """Recompute rates for classes whose inputs changed; reschedule
@@ -476,6 +629,7 @@ class FluidScheduler:
         order from the cached per-class sums, so ``load`` and
         ``free_capacity`` are bit-identical to the eager engine's.
         """
+        self._free_cache = None
         remaining_cap = self._capacity
         changed = self._structure_changed
         self._structure_changed = False
@@ -485,6 +639,7 @@ class FluidScheduler:
         load = 0.0
         rate_sum = self._rate_sum
         cap_in = self._cap_in
+        finite = self._finite
         recomputed: List[int] = []
         for prio in self._prio_order:
             if prio not in dirty and cap_in.get(prio) == remaining_cap:
@@ -508,10 +663,14 @@ class FluidScheduler:
             used, group_changed = self._water_fill(group, remaining_cap)
             changed |= group_changed
             rate_sum[prio] = used
-            self._eta_candidates[prio] = [
-                it for it in group
-                if it._rate > _EPS and it.remaining is not math.inf
-            ]
+            if finite.get(prio, 0):
+                self._eta_candidates[prio] = [
+                    it for it in group
+                    if it._rate > _EPS and it.remaining != math.inf
+                ]
+            else:
+                # Holds-only class: nothing in it can ever complete.
+                self._eta_candidates[prio] = []
             load += used
             remaining_cap -= used
         self._load = load
@@ -526,10 +685,11 @@ class FluidScheduler:
         # Only a recomputed class can contain an item that just went
         # from idle to served — reused classes' rates are untouched, and
         # every earlier rate change already stamped its items.
-        for prio in recomputed:
-            for it in self._buckets.get(prio, ()):
-                if it._rate > _EPS and it.started_at is None:
-                    it.started_at = now
+        pending = self._pending_start
+        if pending:
+            for prio in recomputed:
+                if prio in pending:
+                    self._stamp_started(prio, now)
 
         tracer = self.sim.tracer
         if tracer is not None:
@@ -541,26 +701,72 @@ class FluidScheduler:
         for obs in self._observers:
             obs(self)
 
+    def _stamp_started(self, prio: int, now: float) -> None:
+        """Stamp ``started_at`` on newly served items of one class.
+
+        The pending list holds every item inserted (or re-prioritized)
+        into the class since it last got service; entries that detached
+        or moved classes are dropped lazily.
+        """
+        keep: List[FluidItem] = []
+        for it in self._pending_start[prio]:
+            if (it._sched is not self or it.priority != prio
+                    or it.started_at is not None):
+                continue
+            if it._rate > _EPS:
+                it.started_at = now
+            else:
+                keep.append(it)
+        if keep:
+            self._pending_start[prio] = keep
+        else:
+            del self._pending_start[prio]
+
     @staticmethod
     def _water_fill(group: Iterable[FluidItem], capacity: float):
         """Max-min fair allocation with per-item demand caps.
+
+        Prefix-sum split (see the module docstring): members sorted by
+        demand, ``k`` = first index whose demand exceeds an equal split
+        of what would remain, everyone from ``k`` on gets one identical
+        ``share``.  Float-op for float-op the same computation as the
+        vector engine's array kernel.
 
         Returns ``(used, changed)``: the capacity actually consumed and
         whether any item's rate moved.
         """
         pending = sorted(group, key=_by_demand)
-        cap = capacity
-        used = 0.0
-        changed = False
         n = len(pending)
+        csum = 0.0
+        k = n
         for i, it in enumerate(pending):
-            share = cap / (n - i)
-            rate = min(it.demand, share)
-            if rate != it._rate:
-                it._rate = rate
-                changed = True
-            cap -= rate
-            used += rate
+            d = it.demand
+            if d * (n - i) > capacity - csum:
+                k = i
+                break
+            csum += d
+        changed = False
+        if k < n:
+            share = (capacity - csum) / (n - k)
+            used = csum + share * (n - k)
+            for i in range(k):
+                it = pending[i]
+                d = it.demand
+                if it._rate != d:
+                    it._rate = d
+                    changed = True
+            for i in range(k, n):
+                it = pending[i]
+                if it._rate != share:
+                    it._rate = share
+                    changed = True
+        else:
+            used = csum
+            for it in pending:
+                d = it.demand
+                if it._rate != d:
+                    it._rate = d
+                    changed = True
         return used, changed
 
     def _schedule_next_completion(self) -> None:
@@ -581,22 +787,39 @@ class FluidScheduler:
         for prio in self._prio_order:
             for it in candidates.get(prio, ()):
                 rate = it._rate
-                if rate > _EPS and it.remaining is not math.inf:
+                if rate > _EPS and it.remaining != math.inf:
                     eta = min(eta, it.remaining / rate)
         if eta is math.inf:
             return
-        self._timer = self.sim.call_in(max(0.0, eta), self._on_timer)
+        self._arm_timer(eta)
 
-    def _on_timer(self) -> None:
-        self._timer = None
-        self._settle()
-        # An item is done when under a nanosecond of service remains: the
-        # absolute tolerance alone is not enough because work values can
-        # be huge (bytes), making float error exceed any fixed epsilon.
-        finished = [
+    def _arm_timer(self, eta: float) -> None:
+        """Arm the completion timer ``eta`` seconds out.
+
+        Builds the Timeout and attaches the (cached) bound callback
+        directly — the ``call_in`` convenience path would add a lambda
+        allocation and a subscribe call per re-arm, and re-arms happen
+        on every flush that changed anything.
+        """
+        ev = Timeout(self.sim, eta if eta > 0.0 else 0.0)
+        ev.callbacks = [self._on_timer_cb]
+        self._timer = ev
+
+    def _find_finished(self) -> List[FluidItem]:
+        """Engine hook: items whose work is (float-tolerantly) done, in
+        submission order.  An item is done when under a nanosecond of
+        service remains: the absolute tolerance alone is not enough
+        because work values can be huge (bytes), making float error
+        exceed any fixed epsilon."""
+        return [
             it for it in self._items
             if it.remaining <= max(_DONE_TOL, it._rate * 1e-9)
         ]
+
+    def _on_timer(self, _ev: Optional[Event] = None) -> None:
+        self._timer = None
+        self._settle()
+        finished = self._find_finished()
         for it in finished:
             self._remove(it)
             it._sched = None

@@ -18,7 +18,7 @@ from .events import Event
 class Process(Event):
     """Drives a generator as a cooperative simulation process."""
 
-    __slots__ = ("generator", "name", "_target", "_started")
+    __slots__ = ("generator", "name", "_target", "_started", "_resume_cb")
 
     def __init__(self, sim, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -31,12 +31,16 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "proc")
         self._target: Optional[Event] = None
         self._started = False
+        # One bound method for the process's whole lifetime: every yield
+        # re-subscribes this callback, and binding it per-yield is pure
+        # allocator churn on the dispatch hot path.
+        self._resume_cb = self._resume
         # Kick off on the next queue pop at the current time.
         init = Event(sim)
         init._ok = True
         init._value = None
         sim._schedule(init)
-        init.subscribe(self._resume)
+        init.callbacks = [self._resume_cb]
 
     # -- inspection -------------------------------------------------------
     @property
@@ -60,7 +64,7 @@ class Process(Event):
         if self.triggered:
             return
         if self._target is not None:
-            self._target.unsubscribe(self._resume)
+            self._target.unsubscribe(self._resume_cb)
             self._target = None
         wakeup = Event(self.sim)
         wakeup._ok = False
@@ -70,7 +74,7 @@ class Process(Event):
         # fails the process like any exception, which is the semantics we
         # want for preemption-kill.
         self.sim._schedule(wakeup)
-        wakeup.subscribe(self._resume)
+        wakeup.subscribe(self._resume_cb)
 
     # -- engine -----------------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -114,7 +118,12 @@ class Process(Event):
                 event = next_ev
                 continue
             self._target = next_ev
-            next_ev.subscribe(self._resume)
+            # Inlined subscribe (next_ev is known unprocessed here).
+            cbs = next_ev.callbacks
+            if cbs is None:
+                next_ev.callbacks = [self._resume_cb]
+            else:
+                cbs.append(self._resume_cb)
             return
 
     def __repr__(self) -> str:

@@ -19,7 +19,9 @@ from repro.sim.fluid import _EPS
 def brute_force_rates(sched):
     """Eager oracle: recompute every class from scratch with the same
     grouping, sort, and float-operation order as the engine's
-    ``_water_fill`` — but none of its caches."""
+    prefix-sum ``_water_fill`` — but none of its caches.  Constrained
+    members (first ``k`` in demand order) get exactly their demand;
+    everyone else gets one identical ``share`` float."""
     by_prio = {}
     for it in sched.items:  # insertion order, same as the buckets
         by_prio.setdefault(it.priority, []).append(it)
@@ -33,15 +35,26 @@ def brute_force_rates(sched):
                 rates[it] = 0.0
             continue
         pending = sorted(group, key=lambda it: it.demand)
-        cap = remaining_cap
-        used = 0.0
         n = len(pending)
+        csum = 0.0
+        k = n
         for i, it in enumerate(pending):
-            share = cap / (n - i)
-            rate = min(it.demand, share)
-            rates[it] = rate
-            cap -= rate
-            used += rate
+            d = it.demand
+            if d * (n - i) > remaining_cap - csum:
+                k = i
+                break
+            csum += d
+        if k < n:
+            share = (remaining_cap - csum) / (n - k)
+            used = csum + share * (n - k)
+            for it in pending[:k]:
+                rates[it] = it.demand
+            for it in pending[k:]:
+                rates[it] = share
+        else:
+            used = csum
+            for it in pending:
+                rates[it] = it.demand
         load += used
         remaining_cap -= used
     return rates, load

@@ -1,0 +1,165 @@
+"""Differential property tests for the vectorized fluid engine.
+
+The vector core (``repro.sim.vecfluid``) must be *invisible*: under any
+interleaving of submit / cancel / detach / attach / ``set_demand`` /
+``set_capacity`` / ``set_priority`` / flush, every rate it assigns must
+be bit-identical (``==``, not approx) to both the brute-force water-fill
+oracle and the pure-python scalar engine — and when virtual time runs,
+completions must fire at the same instants in the same order.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FluidScheduler, Simulator
+from repro.sim.fluid import vector_supported
+from tests.property.test_incremental_fluid import brute_force_rates
+
+pytestmark = pytest.mark.skipif(
+    not vector_supported(), reason="numpy not installed: no vector engine")
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"),
+                  st.floats(0.1, 4.0),         # demand
+                  st.integers(0, 3)),           # priority
+        st.tuples(st.just("remove"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("detach"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("attach"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("set_demand"),
+                  st.integers(0, 1 << 20), st.floats(0.1, 4.0)),
+        st.tuples(st.just("set_capacity"), st.floats(0.5, 8.0)),
+        st.tuples(st.just("set_priority"),
+                  st.integers(0, 1 << 20), st.integers(0, 3)),
+        st.tuples(st.just("flush"),),
+    ),
+    min_size=1, max_size=50,
+)
+
+
+def _apply(sched, held, parked, op):
+    kind = op[0]
+    if kind == "add":
+        held.append(sched.hold(demand=op[1], priority=op[2]))
+    elif kind == "remove":
+        if held:
+            sched.cancel(held.pop(op[1] % len(held)))
+    elif kind == "detach":
+        if held:
+            it = held.pop(op[1] % len(held))
+            sched.detach(it)
+            parked.append(it)
+    elif kind == "attach":
+        if parked:
+            it = parked.pop(op[1] % len(parked))
+            sched.attach(it)
+            held.append(it)
+    elif kind == "set_demand":
+        if held:
+            sched.set_demand(held[op[1] % len(held)], op[2])
+    elif kind == "set_capacity":
+        sched.set_capacity(op[1])
+    elif kind == "set_priority":
+        if held:
+            sched.set_priority(held[op[1] % len(held)], op[2])
+    elif kind == "flush":
+        sched.sync()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_vector_matches_brute_force_water_fill(ops):
+    sim = Simulator()
+    sched = FluidScheduler(sim, 4.0, name="cpu", vector=True)
+    assert sched.vectorized
+    held, parked = [], []
+    for op in ops:
+        _apply(sched, held, parked, op)
+        if op[0] == "flush":
+            expected, load = brute_force_rates(sched)
+            for it in held:
+                assert it.rate == expected[it]
+            assert sched.load == load
+    sched.sync()
+    expected, load = brute_force_rates(sched)
+    for it in held:
+        assert it.rate == expected[it]
+    assert sched.load == load
+    # Detached handles stay readable off-array.
+    for it in parked:
+        assert it.rate == 0.0
+        assert it.remaining is math.inf
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_vector_matches_scalar_engine_exactly(ops):
+    """Twin-run: the same op sequence on the scalar and vector engines
+    yields bit-identical rates, aggregates and free-capacity curves."""
+    state = []
+    for vector in (False, True):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 4.0, name="cpu", vector=vector)
+        assert sched.vectorized is vector
+        held, parked = [], []
+        trace = []
+        for op in ops:
+            _apply(sched, held, parked, op)
+            if op[0] == "flush":
+                trace.append([it.rate for it in held])
+        sched.sync()
+        trace.append([it.rate for it in held])
+        trace.append(sched.load)
+        trace.append(sched.demand_total)
+        trace.append([sched.free_capacity(priority=p) for p in range(5)])
+        state.append(trace)
+    assert state[0] == state[1]
+
+
+_jobs = st.lists(
+    st.tuples(
+        st.floats(0.05, 2.0),    # work
+        st.floats(0.1, 3.0),     # demand
+        st.integers(0, 2),       # priority
+        st.floats(0.0, 0.5),     # submit delay from previous job
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def _run_timeline(vector, jobs, caps):
+    """Drive finite jobs to completion, recording every completion's
+    (virtual time, name, priority) and each item's final state."""
+    sim = Simulator()
+    sched = FluidScheduler(sim, 2.5, name="cpu", vector=vector)
+    finished = []
+
+    def driver():
+        items = []
+        for i, (work, demand, prio, gap) in enumerate(jobs):
+            it = sched.submit(work=work, demand=demand, priority=prio,
+                              name=f"j{i}")
+            it.done.subscribe(
+                lambda ev, it=it: finished.append(
+                    (sim.now, it.name, it.priority)))
+            items.append(it)
+            if caps and i % 3 == 2:
+                sched.set_capacity(caps[i % len(caps)])
+            yield sim.timeout(gap)
+
+    sim.process(driver())
+    sim.run(until=60.0)
+    return finished, sim.now, sim.processed_events
+
+
+@settings(max_examples=25, deadline=None)
+@given(jobs=_jobs,
+       caps=st.lists(st.floats(0.5, 6.0), min_size=0, max_size=4))
+def test_vector_completion_timeline_is_bit_identical(jobs, caps):
+    scalar = _run_timeline(False, jobs, caps)
+    vector = _run_timeline(True, jobs, caps)
+    assert scalar == vector

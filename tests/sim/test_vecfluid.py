@@ -1,0 +1,159 @@
+"""Vector fluid engine: toggle plumbing, slot lifecycle, handle reads.
+
+The differential suites (``tests/property/test_vecfluid_differential``,
+the chaos digest gate) pin numerical equivalence; these tests pin the
+machinery around it — engine selection, numpy-free fallback, slot
+growth and reuse, and that detached handles survive off-array.
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.sim.fluid as fluid_mod
+from repro.sim import FluidScheduler, Simulator
+from repro.sim.fluid import vector_supported
+
+needs_vector = pytest.mark.skipif(
+    not vector_supported(), reason="numpy not installed: no vector engine")
+
+
+class TestEngineSelection:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_FLUID", raising=False)
+        sched = FluidScheduler(Simulator(), 4.0)
+        assert not sched.vectorized
+        assert type(sched) is FluidScheduler
+
+    @needs_vector
+    def test_explicit_vector_param(self):
+        sched = FluidScheduler(Simulator(), 4.0, vector=True)
+        assert sched.vectorized
+        assert isinstance(sched, FluidScheduler)  # same API surface
+
+    @needs_vector
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_FLUID", "1")
+        assert FluidScheduler(Simulator(), 4.0).vectorized
+        monkeypatch.setenv("REPRO_VECTOR_FLUID", "0")
+        assert not FluidScheduler(Simulator(), 4.0).vectorized
+
+    @needs_vector
+    def test_param_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_FLUID", "1")
+        assert not FluidScheduler(Simulator(), 4.0, vector=False).vectorized
+        monkeypatch.setenv("REPRO_VECTOR_FLUID", "0")
+        assert FluidScheduler(Simulator(), 4.0, vector=True).vectorized
+
+    def test_missing_numpy_falls_back_silently(self, monkeypatch):
+        # Simulate an environment without numpy: the lazy class cache
+        # records the failed import as False.
+        monkeypatch.setattr(fluid_mod, "_VEC_CLS", False)
+        sched = FluidScheduler(Simulator(), 4.0, vector=True)
+        assert not sched.vectorized
+        assert type(sched) is FluidScheduler
+
+    def test_subclasses_never_redirect(self, monkeypatch):
+        """__new__ only swaps the engine for the base class; subclasses
+        built on FluidScheduler keep their own identity."""
+        monkeypatch.setenv("REPRO_VECTOR_FLUID", "1")
+
+        class Custom(FluidScheduler):
+            pass
+
+        sched = Custom(Simulator(), 4.0)
+        assert type(sched) is Custom
+        assert not sched.vectorized
+
+
+def test_core_import_does_not_pull_numpy():
+    """The scalar path must keep the library's no-numpy invariant: just
+    importing repro (and touching the scalar scheduler) must not import
+    numpy.  The vector engine only loads when selected."""
+    code = (
+        "import sys\n"
+        "import repro\n"
+        "from repro.sim import FluidScheduler, Simulator\n"
+        "s = FluidScheduler(Simulator(), 4.0, vector=False)\n"
+        "s.hold(demand=1.0)\n"
+        "s.sync()\n"
+        "assert 'numpy' not in sys.modules, 'numpy leaked into core import'\n"
+    )
+    env = dict(os.environ)
+    env.pop("REPRO_VECTOR_FLUID", None)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "src")
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+@needs_vector
+class TestSlotLifecycle:
+    def test_growth_past_initial_capacity(self):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 1000.0, vector=True)
+        items = [sched.hold(demand=1.0, name=f"h{i}") for i in range(200)]
+        sched.sync()
+        assert len(sched) == 200
+        assert all(it.rate == 1.0 for it in items)
+
+    def test_slot_reuse_after_cancel(self):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 100.0, vector=True)
+        first = [sched.hold(demand=1.0) for _ in range(50)]
+        for it in first[::2]:
+            sched.cancel(it)
+        slots_freed = {it._slot for it in first}  # -1 after release
+        assert -1 in slots_freed
+        second = [sched.hold(demand=2.0) for _ in range(25)]
+        sched.sync()
+        # Freed slots are recycled before the arrays grow again.
+        assert all(it._slot >= 0 for it in second)
+        assert all(it.rate == 2.0 for it in second)
+        assert all(it.rate == 1.0 for it in first[1::2])
+
+    def test_detached_handle_reads_off_array(self):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 4.0, vector=True)
+        it = sched.hold(demand=2.0)
+        sched.sync()
+        assert it.rate == 2.0
+        sched.detach(it)
+        assert it._slot == -1
+        assert it.rate == 0.0
+        assert it.remaining is math.inf  # singleton preserved off-array
+        sched.attach(it)
+        sched.sync()
+        assert it._slot >= 0
+        assert it.rate == 2.0
+
+    def test_hold_remaining_is_inf_singleton_on_array(self):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 4.0, vector=True)
+        it = sched.hold(demand=1.0)
+        assert it.remaining is math.inf
+
+    def test_fail_all_releases_every_slot(self):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 8.0, vector=True)
+        items = [sched.submit(work=5.0, demand=1.0) for _ in range(10)]
+        sched.sync()
+        sched.fail_all(RuntimeError("machine died"))
+        assert all(it._slot == -1 for it in items)
+        assert len(sched) == 0
+        fresh = sched.submit(work=1.0, demand=1.0)
+        sched.sync()
+        assert fresh.rate == 1.0
+
+    def test_completion_on_vector_path(self):
+        sim = Simulator()
+        sched = FluidScheduler(sim, 2.0, vector=True)
+        a = sched.submit(work=1.0, demand=1.0, name="a")
+        b = sched.submit(work=2.0, demand=1.0, name="b")
+        sim.run()
+        assert a.done.triggered and b.done.triggered
+        assert a.finished_at == 1.0
+        assert b.finished_at == 2.0
