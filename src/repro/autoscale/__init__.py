@@ -1,0 +1,24 @@
+"""Shard autoscaler: hysteresis control loop + crash-safe resharding.
+
+ROADMAP item 2 (modeled on the Neon shard-splitting RFC and Ceph's
+pg_autoscaler): per-shard capacity limits on bytes, objects, and routed
+call rate; hysteresis bands and cool-downs so decisions never
+oscillate; and a two-phase reshard protocol (prepare → commit →
+cleanup, with explicit rollback on machine failure at any phase) so no
+human ever chooses shard counts and no crash ever strands a key.
+
+Enable with :meth:`repro.core.Quicksand.enable_autoscaler`; without
+that call nothing here runs and trajectories are bit-identical to
+builds predating this package.
+"""
+
+from .config import AutoscaleConfig
+from .controller import ShardAutoscaler
+from .reshard import reshard_merge, reshard_split
+
+__all__ = [
+    "AutoscaleConfig",
+    "ShardAutoscaler",
+    "reshard_merge",
+    "reshard_split",
+]

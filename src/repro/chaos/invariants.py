@@ -27,6 +27,16 @@ injected:
    still active on a scheduler (cancelled clones must not leak
    capacity, DRAM-backed work, or gated proclets — the DRAM and gate
    invariants above apply to clone losers like everything else).
+9. **Reshard integrity** (:mod:`repro.runtime.reshard`) — for every
+   tracked sharded structure: the routing table covers the full key
+   space at every instant (first bound is BOTTOM, bounds strictly
+   sorted, parallel arrays agree — *routable-keys-always*); every table
+   entry resolves to a live or recoverably-lost proclet (a destroyed
+   entry is legal only inside an active, ledger-protected reshard op);
+   each settled shard proclet's enforced ``range_lo``/``range_hi``
+   agrees with its table neighbours; and no live shard proclet is
+   absent from its owner's table unless an active op protects it (no
+   orphaned child shards, including across aborts).
 
 The checker is read-only: schedulers with a *pending* coalesced
 reassignment are skipped for that event (forcing a flush mid-instant
@@ -103,6 +113,7 @@ class InvariantChecker:
         self._check_gates()
         self._check_recovery()
         self._check_clones()
+        self._check_resharding()
 
     def _fail(self, what: str) -> None:
         raise InvariantViolation(
@@ -315,6 +326,93 @@ class InvariantChecker:
                         self._fail(
                             f"{call!r}: cancelled clone {att.index} "
                             f"leaked active work item {item.name!r}")
+
+    def _check_resharding(self) -> None:
+        """Reshard integrity (invariant 9; cheap no-op without tracked
+        sharded structures)."""
+        runtime = self.runtime
+        ledger = getattr(runtime, "reshard_ledger", None)
+        if ledger is None or not ledger._structures:
+            return
+        from ..ds.sharding import _Bottom
+        from ..runtime.proclet import ProcletStatus
+
+        structures = ledger.structures()
+        protected = ledger.protected_ids()
+        lost = set(runtime.lost_proclets())
+        recovery = runtime.recovery
+        table_pids: Dict[int, set] = {}
+        for ds in structures:
+            shards = list(ds.shards)
+            table_pids[id(ds)] = {getattr(s, "ref", s).proclet_id
+                                  for s in shards}
+            los = getattr(ds, "_los", None)
+            if los is not None:
+                # Range-sharded: full key-space coverage at every
+                # instant (routable-keys-always).
+                if not shards:
+                    self._fail(f"{ds.name}: empty routing table "
+                               f"(every key unroutable)")
+                if len(los) != len(shards):
+                    self._fail(f"{ds.name}: lo array has {len(los)} "
+                               f"entries for {len(shards)} shards")
+                if not isinstance(shards[0].lo, _Bottom):
+                    self._fail(
+                        f"{ds.name}: first shard starts at "
+                        f"{shards[0].lo!r}, not BOTTOM — keys below it "
+                        f"are unroutable")
+                for i, shard in enumerate(shards):
+                    if shard.lo != los[i]:
+                        self._fail(f"{ds.name}: shard {i} lower bound "
+                                   f"{shard.lo!r} != lo array {los[i]!r}")
+                    if i > 0 and not los[i - 1] < los[i]:
+                        self._fail(f"{ds.name}: lower bounds out of "
+                                   f"order at {i}: {los[i - 1]!r} !< "
+                                   f"{los[i]!r}")
+            for i, shard in enumerate(shards):
+                pid = getattr(shard, "ref", shard).proclet_id
+                proclet = runtime._proclets.get(pid)
+                if proclet is None:
+                    # Lost to a machine failure (recovery's problem) or
+                    # destroyed inside a still-settling reshard op (the
+                    # legacy merge's completion-subscriber window).
+                    if pid not in lost and pid not in protected:
+                        self._fail(
+                            f"{ds.name}: routing table entry #{pid} is "
+                            f"destroyed with no active reshard op "
+                            f"(unroutable range)")
+                    continue
+                if los is None or pid in protected:
+                    continue
+                if proclet._status is not ProcletStatus.RUNNING:
+                    continue  # gated by an op; ranges settle at cleanup
+                if recovery is not None and recovery.restoring(pid):
+                    continue
+                lo = shard.lo
+                want_lo = None if isinstance(lo, _Bottom) else lo
+                want_hi = (shards[i + 1].lo if i + 1 < len(shards)
+                           else None)
+                if proclet.range_lo != want_lo \
+                        or proclet.range_hi != want_hi:
+                    self._fail(
+                        f"{ds.name}/{proclet.name}: enforced range "
+                        f"[{proclet.range_lo!r}, {proclet.range_hi!r}) "
+                        f"disagrees with the routing table "
+                        f"[{want_lo!r}, {want_hi!r})")
+        # No orphaned children: a live shard proclet outside its owner's
+        # routing table is legal only mid-reshard (ledger-protected).
+        for pid, proclet in runtime._proclets.items():
+            owner = getattr(proclet, "shard_owner", None)
+            if owner is None or id(owner) not in table_pids:
+                continue
+            if pid in table_pids[id(owner)]:
+                continue
+            if ledger.protects_child(pid):
+                continue
+            self._fail(
+                f"{owner.name}: live shard {proclet.name} is missing "
+                f"from the routing table and no active reshard op "
+                f"protects it (orphaned child shard)")
 
     def __repr__(self) -> str:
         return (f"<InvariantChecker checks={self.checks} "

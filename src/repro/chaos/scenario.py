@@ -65,6 +65,13 @@ class ChaosConfig:
     # RecoveryPolicy value for the shards ("none" runs the detector and
     # registry but recovers nothing — lost proclets stay lost).
     recovery_policy: Optional[str] = None
+    # Autoscaler mode: replaces the legacy size controller with the
+    # ShardAutoscaler and adds a range-sharded map under routed-key
+    # churn, so faults land at every reshard phase boundary.  The
+    # default False keeps pre-autoscaler digests byte-identical.
+    autoscale: bool = False
+    map_item_bytes: float = 2 * MiB
+    map_churn_interval: float = 0.002
     # Checking.
     oracle: bool = False
     invariant_stride: int = 1
@@ -95,6 +102,12 @@ class ChaosResult:
     failed_recoveries: int = 0
     call_retries: int = 0
     sheds: int = 0
+    # Reshard/autoscaler outcomes (all zero with autoscale off).
+    reshard_splits: int = 0
+    reshard_merges: int = 0
+    reshard_aborts: int = 0
+    autoscale_decisions: int = 0
+    autoscale_sheds: int = 0
     trace_lines: List[str] = field(repr=False, default_factory=list)
     counters: List[str] = field(repr=False, default_factory=list)
 
@@ -136,6 +149,13 @@ class ChaosResult:
                 f"{self.recoveries} recovered of {self.confirms} confirmed "
                 f"deaths ({self.failed_recoveries} failed, {self.sheds} "
                 f"shed, {self.call_retries} calls retried)")
+        if self.config.autoscale:
+            lines.append(
+                f"  autoscaler        : {self.autoscale_decisions} "
+                f"decisions, {self.reshard_splits} splits + "
+                f"{self.reshard_merges} merges committed, "
+                f"{self.reshard_aborts} aborted, "
+                f"{self.autoscale_sheds} sheds")
         lines += [
             f"  digest            : {self.digest()}",
             "fault schedule:",
@@ -159,6 +179,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
     )
     qs = Quicksand(spec, config=QuicksandConfig())
     sim = qs.sim
+    autoscaler = qs.enable_autoscaler() if config.autoscale else None
 
     plan = RandomFaultPlan(
         seed=config.seed, machines=names, duration=config.duration,
@@ -194,6 +215,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
                 for name, c in sorted(metrics._counters.items())]
 
     recovery = qs.recovery
+    reshard = qs.runtime.reshard_ledger.counters
     return ChaosResult(
         config=config,
         schedule=schedule,
@@ -214,6 +236,13 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
         call_retries=int(qs.metrics.counter("ft.call_retries").total)
         if recovery else 0,
         sheds=recovery.sheds if recovery else 0,
+        reshard_splits=reshard["split_committed"],
+        reshard_merges=reshard["merge_committed"],
+        reshard_aborts=(reshard["split_aborted"]
+                        + reshard["merge_aborted"]),
+        autoscale_decisions=(len(autoscaler.decisions)
+                             if autoscaler else 0),
+        autoscale_sheds=autoscaler.sheds if autoscaler else 0,
         trace_lines=[str(e) for e in qs.runtime.tracer.events],
         counters=counters,
     )
@@ -242,6 +271,11 @@ def run_chaos_summary(**config_kwargs) -> dict:
         "recoveries": result.recoveries,
         "failed_recoveries": result.failed_recoveries,
         "call_retries": result.call_retries,
+        "reshard_splits": result.reshard_splits,
+        "reshard_merges": result.reshard_merges,
+        "reshard_aborts": result.reshard_aborts,
+        "autoscale_decisions": result.autoscale_decisions,
+        "autoscale_sheds": result.autoscale_sheds,
     }
 
 
@@ -253,9 +287,11 @@ class _Workload:
         self.config = config
         self.pool = None
         self.shards: List = []
+        self.map = None
         self.lost_calls = 0
         self.lineage = None
         self._next_key = 0
+        self._next_map_key = 0
 
     def start(self) -> None:
         from ..ft import LineageLog, RecoveryPolicy
@@ -283,6 +319,11 @@ class _Workload:
             for ref in self.pool.members:
                 manager.protect(ref, member_policy,
                                 factory=self._make_member)
+        if self.config.autoscale:
+            # Routed traffic against a range-sharded map: splits/merges
+            # re-route keys while faults land at every protocol phase.
+            self.map = self.qs.sharded_map(name="chaos-map")
+            self.qs.sim.process(self._map_driver(), name="chaos-map-churn")
         self.qs.sim.process(self._task_driver(), name="chaos-tasks")
         self.qs.sim.process(self._churn_driver(), name="chaos-churn")
 
@@ -343,6 +384,39 @@ class _Workload:
             else:
                 ev = self.qs.runtime.invoke(ref, "mp_put", key, nbytes)
             ev.subscribe(self._on_churn_done)
+
+    def _map_driver(self) -> Generator:
+        """Routed key churn against the autoscaled map: mostly inserts
+        (growing the keyspace so shards split), occasional deletes (so
+        drained shards merge back), occasional reads."""
+        rng = self.qs.sim.random.stream("chaos.workload.map")
+        while True:
+            yield self.qs.sim.timeout(
+                rng.expovariate(1.0 / self.config.map_churn_interval))
+            roll = rng.random()
+            if roll < 0.70 or self._next_map_key == 0:
+                key = f"mk{self._next_map_key:08d}"
+                self._next_map_key += 1
+                nbytes = (rng.uniform(0.5, 1.5)
+                          * self.config.map_item_bytes)
+                ev = self.map.put(key, self._next_map_key, nbytes)
+            else:
+                key = f"mk{rng.randrange(self._next_map_key):08d}"
+                ev = (self.map.delete(key) if roll < 0.85
+                      else self.map.get(key))
+            ev.subscribe(self._on_map_done)
+
+    def _on_map_done(self, event) -> None:
+        if event.ok:
+            return
+        if isinstance(event.value,
+                      (DeadProclet, MachineFailed, OutOfMemory,
+                       MigrationFailed, KeyError)):
+            # KeyError: the deleted/read key never landed (its insert
+            # hit a fault) or died with an unrecovered shard.
+            self.lost_calls += 1
+        else:
+            raise event.value
 
     def _on_churn_done(self, event) -> None:
         if not event.ok:

@@ -106,7 +106,8 @@ def _cmd_chaos(args) -> int:
     config = ChaosConfig(seed=args.seed, machines=args.machines,
                          duration=args.duration, oracle=args.oracle,
                          invariant_stride=args.stride,
-                         recovery_policy=args.recovery)
+                         recovery_policy=args.recovery,
+                         autoscale=args.autoscale)
     result = run_chaos(config)
     print(result.report())
     if args.check_determinism:
@@ -131,9 +132,11 @@ def _chaos_grid(args) -> int:
                 {"seed": seed, "machines": args.machines,
                  "duration": args.duration, "oracle": args.oracle,
                  "invariant_stride": args.stride,
-                 "recovery_policy": args.recovery},
+                 "recovery_policy": args.recovery,
+                 "autoscale": args.autoscale},
                 name=f"chaos.seed={seed}"
-                     + (f".rec={args.recovery}" if args.recovery else ""))
+                     + (f".rec={args.recovery}" if args.recovery else "")
+                     + (".autoscale" if args.autoscale else ""))
         for seed in seeds
     ]
     report = run_specs(specs, jobs=args.jobs, cache=args.cache_dir)
@@ -259,6 +262,35 @@ def _cmd_serving(args) -> int:
             return 1
         print(f"goodput ratio gate passed: {ratio:.3f} >= "
               f"{args.min_ratio:g}")
+    return _check_budget(wall, args.budget)
+
+
+def _cmd_autoscale(args) -> int:
+    """Hand-tuned controller vs ShardAutoscaler parity, plus the
+    autoscaled chaos fault grid."""
+    from .experiments import autoscale
+
+    rows = autoscale.run_autoscale_fig2(seed=args.seed)
+    grid = None
+    wall = 0.0
+    if not args.no_grid:
+        seeds = _parse_seeds(args.seeds)
+        grid, exec_report = autoscale.run_autoscale_grid(
+            seeds=seeds, duration=args.duration,
+            jobs=args.jobs, cache=args.cache_dir)
+        wall = exec_report.wall_s
+        print(autoscale.report(rows, grid))
+        print(exec_report.summary())
+    else:
+        print(autoscale.report(rows))
+    if args.max_ratio > 0:
+        worst = max(r.ratio for r in rows)
+        if worst > args.max_ratio:
+            print(f"PARITY GATE FAILED: worst ratio {worst:.3f} > "
+                  f"{args.max_ratio:g}")
+            return 1
+        print(f"parity gate passed: worst ratio {worst:.3f} <= "
+              f"{args.max_ratio:g}")
     return _check_budget(wall, args.budget)
 
 
@@ -414,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "this policy on the map shards (default: legacy "
                          "application-level healing, byte-identical to "
                          "previous releases)")
+    pc.add_argument("--autoscale", action="store_true",
+                    help="replace the legacy size controller with the "
+                         "ShardAutoscaler and add a range-sharded map "
+                         "under routed churn (exercises the two-phase "
+                         "reshard protocol under faults)")
     _add_exec_args(pc)
     pc.set_defaults(fn=_cmd_chaos)
 
@@ -456,6 +493,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical digests")
     _add_exec_args(psv)
     psv.set_defaults(fn=_cmd_serving)
+
+    pas = sub.add_parser(
+        "autoscale",
+        help="hand-tuned controller vs ShardAutoscaler parity + "
+             "autoscaled chaos fault grid")
+    pas.add_argument("--seed", type=int, default=0)
+    pas.add_argument("--seeds", default="1-3",
+                     help="chaos grid seeds (e.g. '1-5' or '1,3,9')")
+    pas.add_argument("--duration", type=float, default=0.4,
+                     help="virtual seconds per chaos grid cell")
+    pas.add_argument("--no-grid", action="store_true",
+                     help="skip the chaos fault grid (parity table only)")
+    pas.add_argument("--max-ratio", type=float, default=0.0,
+                     help="fail if any autoscaled/hand-tuned completion "
+                          "ratio exceeds this ceiling (0 = report only)")
+    _add_exec_args(pas)
+    pas.set_defaults(fn=_cmd_autoscale)
 
     pr = sub.add_parser(
         "recovery",

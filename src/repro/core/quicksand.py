@@ -87,6 +87,10 @@ class Quicksand:
         #: The attached repro.ft.RecoveryManager (enable_recovery), or
         #: None: fail-stop semantics, no detector/heartbeat processes.
         self.recovery = None
+        #: The attached repro.autoscale.ShardAutoscaler
+        #: (enable_autoscaler), or None: shard sizing stays with the
+        #: legacy heap-change controller above.
+        self.autoscaler = None
         self.splits = 0
         self.merges = 0
 
@@ -122,6 +126,30 @@ class Quicksand:
         """Machines placement may target: up, and (with recovery
         enabled) not currently suspected by the failure detector."""
         return self.machine_index.eligible(self.placement.health)
+
+    # -- shard autoscaling -------------------------------------------------------
+    def enable_autoscaler(self, config=None):
+        """Attach the :mod:`repro.autoscale` control loop and return its
+        :class:`~repro.autoscale.ShardAutoscaler`.
+
+        Detaches the deprecated heap-change-driven
+        :class:`~repro.core.splitmerge.ShardSizeController` — exactly
+        one controller may own shard sizing.  Child-shard placement in
+        the autoscaler's reshard protocol goes through
+        ``placement.best_for_memory`` and is therefore health-gated
+        whenever :meth:`enable_recovery` is active.  Without this call,
+        nothing from :mod:`repro.autoscale` runs and trajectories are
+        bit-identical to builds predating it.
+        """
+        if self.autoscaler is not None:
+            raise RuntimeError("autoscaler is already enabled")
+        from ..autoscale import ShardAutoscaler
+
+        if self.shard_controller is not None:
+            self.shard_controller.detach()
+            self.shard_controller = None
+        self.autoscaler = ShardAutoscaler(self, config)
+        return self.autoscaler
 
     # -- spawning resource proclets --------------------------------------------
     def spawn(self, proclet: Proclet, machine: Optional[Machine] = None,
@@ -192,13 +220,38 @@ class Quicksand:
         DRAM anywhere for the new half).
         """
         proclet = self.runtime.get_proclet(ref.proclet_id)
-        return self.sim.process(self._split_memory_proc(proclet, dst),
-                                name=f"split:{proclet.name}")
+        op_box: dict = {}
+        ev = self.sim.process(self._split_memory_proc(proclet, dst, op_box),
+                              name=f"split:{proclet.name}")
+        # Settle the ledger op when the process settles.  Registered
+        # before any structure's completion subscriber, so op closure
+        # and table publication land within the same event delivery —
+        # the invariant checker never sees them apart.
+        ev.subscribe(lambda e: self._settle_reshard_op(op_box, e))
+        return ev
+
+    def _settle_reshard_op(self, op_box: dict, event) -> None:
+        """Close a legacy split/merge's ledger op from its completion
+        event (the op protects the mid-handoff child from the orphan
+        invariant until the owning structure publishes it)."""
+        op = op_box.get("op")
+        if op is None or not op.active:
+            return
+        ledger = self.runtime.reshard_ledger
+        if event.ok and event.value is not None:
+            ledger.complete(op)
+        else:
+            ledger.abort(op, "declined" if event.ok else repr(event.value))
 
     def _split_memory_proc(self, src: MemoryProclet,
-                           dst: Optional[Machine]) -> Generator:
+                           dst: Optional[Machine],
+                           op_box: Optional[dict] = None) -> Generator:
         if src.status is not ProcletStatus.RUNNING or src.object_count < 2:
             return None
+        op = self.runtime.reshard_ledger.begin(
+            "split", src.shard_owner, src.id, driver="legacy")
+        if op_box is not None:
+            op_box["op"] = op
         tr = self.sim.tracer
         span = None
         if tr is not None:
@@ -228,6 +281,7 @@ class Quicksand:
                 tr.end(span, outcome="no-room")
             return None
         new_ref = self.runtime.spawn(new, dst, name=f"{src.name}.hi")
+        self.runtime.reshard_ledger.add_child(op, new_ref.proclet_id)
         if dst is not src.machine:
             yield self.cluster.fabric.transfer(src.machine, dst, nbytes,
                                                name=f"split:{src.name}")
@@ -253,13 +307,17 @@ class Quicksand:
         """
         dst_p = self.runtime.get_proclet(dst_ref.proclet_id)
         src_p = self.runtime.get_proclet(src_ref.proclet_id)
-        return self.sim.process(
-            self._merge_memory_proc(dst_p, src_p, src_ref),
+        op_box: dict = {}
+        ev = self.sim.process(
+            self._merge_memory_proc(dst_p, src_p, src_ref, op_box),
             name=f"merge:{src_p.name}->{dst_p.name}",
         )
+        ev.subscribe(lambda e: self._settle_reshard_op(op_box, e))
+        return ev
 
     def _merge_memory_proc(self, dst_p: MemoryProclet, src_p: MemoryProclet,
-                           src_ref: ProcletRef) -> Generator:
+                           src_ref: ProcletRef,
+                           op_box: Optional[dict] = None) -> Generator:
         if dst_p is src_p:
             return None  # self-merge would destroy the survivor
         if (dst_p.status is not ProcletStatus.RUNNING
@@ -267,6 +325,11 @@ class Quicksand:
             return None
         if not dst_p.machine.memory.can_fit(src_p.heap_bytes):
             return None
+        op = self.runtime.reshard_ledger.begin(
+            "merge", src_p.shard_owner, src_p.id, driver="legacy")
+        self.runtime.reshard_ledger.add_child(op, dst_p.id)
+        if op_box is not None:
+            op_box["op"] = op
         tr = self.sim.tracer
         span = None
         if tr is not None:

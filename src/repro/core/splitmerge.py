@@ -27,16 +27,39 @@ from .resource import ResourceKind
 
 
 class ShardSizeController:
-    """Watches registered shards and keeps their sizes in band."""
+    """Watches registered shards and keeps their sizes in band.
+
+    .. deprecated::
+        This heap-change-driven path is superseded by the
+        :class:`repro.autoscale.ShardAutoscaler` control loop, which
+        adds hysteresis bands, routed-load signals, detector-driven
+        freezing, and the crash-safe two-phase reshard protocol.  The
+        controller remains the default for compatibility (its
+        trajectories are pinned by golden digests) and now shares its
+        size thresholds with the autoscaler via
+        :mod:`repro.autoscale.policy`, so both paths provably make the
+        same size decisions.  ``Quicksand.enable_autoscaler()`` detaches
+        it.
+    """
 
     def __init__(self, qs):
         self.qs = qs
         self.config: QuicksandConfig = qs.config
         self._owners: Dict[int, object] = {}  # proclet_id -> sharded DS
         self._busy: Set[int] = set()
+        self._detached = False
         self.splits_requested = 0
         self.merges_requested = 0
         qs.runtime.on_heap_change(self._on_heap_change)
+
+    def detach(self) -> None:
+        """Permanently stop reacting to heap changes (the enable hook
+        for the replacement autoscaler calls this; there is no way to
+        remove the runtime's heap listener, so the hook stays registered
+        as a no-op)."""
+        self._detached = True
+        self._owners.clear()
+        self._busy.clear()
 
     def register(self, shard_ref, ds) -> None:
         """Track *shard_ref* on behalf of sharded structure *ds*.
@@ -54,6 +77,8 @@ class ShardSizeController:
         self._busy.discard(shard_ref.proclet_id)
 
     def _on_heap_change(self, proclet) -> None:
+        if self._detached:
+            return
         ds = self._owners.get(proclet.id)
         if ds is None or proclet.id in self._busy:
             return
@@ -71,11 +96,14 @@ class ShardSizeController:
             # would destroy the incarnation being recovered.  The
             # manager re-pokes this hook when the restore completes.
             return
-        if proclet.heap_bytes > self.config.max_shard_bytes:
+        from ..autoscale import policy
+
+        if policy.oversized(proclet.heap_bytes, self.config.max_shard_bytes):
             self._busy.add(proclet.id)
             self.splits_requested += 1
             self.qs.sim.call_in(0.0, self._run_split, proclet.id, ds)
-        elif (proclet.heap_bytes < self.config.min_shard_bytes
+        elif (policy.undersized(proclet.heap_bytes,
+                                self.config.min_shard_bytes)
               and ds.wants_merge(proclet.id)):
             self._busy.add(proclet.id)
             self.merges_requested += 1

@@ -107,6 +107,7 @@ class ShardedQueue:
         for i in range(initial_shards):
             machine = machines[i % len(machines)] if machines else None
             self._add_shard(machine)
+        qs.runtime.reshard_ledger.track(self)
 
     # -- shard management ---------------------------------------------------
     def _add_shard(self, machine: Optional[Machine] = None):
@@ -262,6 +263,8 @@ class ShardedQueue:
         src = shard.proclet
         if src.status is not ProcletStatus.RUNNING or src.length < 2:
             return None
+        ledger = self.qs.runtime.reshard_ledger
+        op = ledger.begin("split", self, src.id, driver="legacy")
         tr = self.qs.sim.tracer
         span = None
         if tr is not None:
@@ -269,12 +272,18 @@ class ShardedQueue:
                             track=f"proclet:{src.name}", kind="queue")
         gate = self.qs._block(src)
         yield self.qs.sim.timeout(self.qs.config.split_overhead)
+        if src.status is ProcletStatus.DEAD:
+            ledger.abort(op, "source machine failed in prepare")
+            if tr is not None:
+                tr.end(span, outcome="machine-failed")
+            return None
         items, nbytes = src.extract_back_half()
         dst = self.qs.placement.best_for_memory(
             nbytes + QueueShardProclet.BASE_FOOTPRINT)
         if dst is None:
             src.install_items(items)
             self.qs._unblock(src, gate)
+            ledger.abort(op, "no room for the child shard")
             if tr is not None:
                 tr.end(span, outcome="no-room")
             return None
@@ -286,6 +295,7 @@ class ShardedQueue:
         new.shard_owner = self
         new_ref = self.qs.spawn(new, dst,
                                 name=f"{self.name}.q{len(self.shards)}")
+        ledger.add_child(op, new_ref.proclet_id)
         new_gate = self.qs._block(new)
         if dst is not src.machine:
             try:
@@ -300,6 +310,7 @@ class ShardedQueue:
                 if src.status is not ProcletStatus.DEAD:
                     src.install_items(items)
                     self.qs._unblock(src, gate)
+                ledger.abort(op, "endpoint failed during copy")
                 if tr is not None:
                     tr.end(span, outcome="machine-failed")
                 return None
@@ -307,6 +318,7 @@ class ShardedQueue:
         self.qs._unblock(new, new_gate)
         self.qs._unblock(src, gate)
         self.shards.append(new_ref)
+        ledger.complete(op)
         if self.qs.shard_controller is not None:
             self.qs.shard_controller.register(new_ref, self)
         self.qs.splits += 1
@@ -333,6 +345,8 @@ class ShardedQueue:
         if src.status is not ProcletStatus.RUNNING \
                 or all(s is shard for s in self.shards):
             return None
+        ledger = self.qs.runtime.reshard_ledger
+        op = ledger.begin("merge", self, src.id, driver="legacy")
         tr = self.qs.sim.tracer
         span = None
         if tr is not None:
@@ -343,6 +357,7 @@ class ShardedQueue:
         if src.status is ProcletStatus.DEAD:
             # The source died while gated (machine failure); the fail
             # path already opened the gate, and the items died with it.
+            ledger.abort(op, "source machine failed in prepare")
             if tr is not None:
                 tr.end(span, outcome="machine-failed")
             return None
@@ -360,6 +375,7 @@ class ShardedQueue:
         def abort():
             src.install_items(items)
             self.qs._unblock(src, gate)
+            ledger.abort(op, "no live survivor shard")
             if tr is not None:
                 tr.end(span, outcome="aborted")
             return None
@@ -378,23 +394,40 @@ class ShardedQueue:
                 # it keeps its items; if it died they die with it.
                 if src.status is not ProcletStatus.DEAD:
                     return abort()
+                ledger.abort(op, "source machine failed during copy")
                 if tr is not None:
                     tr.end(span, outcome="machine-failed")
                 return None
             survivor = pick_survivor()  # may have died during the copy
             if survivor is None:
                 return abort()
+        ledger.add_child(op, survivor.proclet_id)
         survivor.proclet.install_items(items)
         self.qs._unblock(src, gate)
         self.shards.remove(shard)
         if self.qs.shard_controller is not None:
             self.qs.shard_controller.unregister(shard)
         self.qs.runtime.destroy(shard)
+        ledger.complete(op)
         self.qs.merges += 1
         if tr is not None:
             tr.end(span, moved_bytes=int(nbytes),
                    survivor=survivor.name)
         return True
+
+    # -- autoscaler protocol --------------------------------------------------
+    # The queue's own split/merge already follow the crash-safe shape the
+    # two-phase protocol formalises (gate, build fully before publishing,
+    # rollback into a surviving source), so the autoscaler drives them
+    # directly instead of the range-map protocol in
+    # :mod:`repro.autoscale.reshard` (queues have no key ranges).
+    def reshard_split_by_id(self, proclet_id: int,
+                            driver: str = "autoscale"):
+        return self.split_shard_by_id(proclet_id)
+
+    def reshard_merge_by_id(self, proclet_id: int,
+                            driver: str = "autoscale"):
+        return self.merge_shard_by_id(proclet_id)
 
     def _ref_by_id(self, proclet_id: int):
         for ref in self.shards:
@@ -408,6 +441,7 @@ class ShardedQueue:
                 self.qs.shard_controller.unregister(ref)
             self.qs.runtime.destroy(ref)
         self.shards.clear()
+        self.qs.runtime.reshard_ledger.untrack(self)
 
     def __repr__(self) -> str:
         return (f"<ShardedQueue {self.name!r} shards={len(self.shards)} "

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster import Machine
 from ..core.memproclet import MemoryProclet
@@ -62,11 +62,15 @@ class ShardedBase:
         self.name = name
         self.shards: List[Shard] = []
         self._los: List[Any] = []  # parallel array for bisect routing
+        #: Routed calls attempted per shard proclet id — the autoscaler's
+        #: load signal (EWMA'd controller-side).  Host bookkeeping only.
+        self.route_counts: Dict[int, int] = {}
         # The index memory proclet: holds the shard routing table (§3.2).
         self.index_ref = qs.spawn_memory(machine=initial_machine,
                                          name=f"{name}.index")
         first = self._spawn_shard(BOTTOM, initial_machine)
         self._insert_shard(first)
+        qs.runtime.reshard_ledger.track(self)
 
     # -- shard bookkeeping --------------------------------------------------
     def _spawn_shard(self, lo: Any,
@@ -171,21 +175,48 @@ class ShardedBase:
         executes — routing tables are client-side caches, as in Slicer.
         Both outcomes are retried against the updated table.
         Application-level ``KeyError`` etc. pass through unchanged.
+
+        ``max_retries`` is one shared budget across both failure kinds
+        (the :meth:`NuRuntime._invoke_proc` convention: attempts count
+        against a single budget no matter why they failed).  A stale
+        route (``WrongShard``) retries immediately — the table is
+        already newer than the attempt.  A *lost* shard retries with
+        seeded exponential backoff when ``route_retry_backoff`` is
+        configured: re-attempting a lost shard at the same instant just
+        storms the routing layer until recovery lands.  The default
+        backoff of 0 preserves historical bit-identical trajectories.
         """
         from ..runtime import DeadProclet
         from ..runtime.errors import WrongShard
 
+        config = self.qs.config
+
         def attempt():
             last_exc = None
+            backoff = config.route_retry_backoff
             for _try in range(max_retries):
                 ref = self.route(key)
+                self.route_counts[ref.proclet_id] = \
+                    self.route_counts.get(ref.proclet_id, 0) + 1
                 ev = (ctx.call(ref, method, *args, req_bytes=req_bytes)
                       if ctx is not None
                       else ref.call(method, *args, req_bytes=req_bytes))
                 try:
                     result = yield ev
-                except (DeadProclet, WrongShard) as exc:
+                except WrongShard as exc:
                     last_exc = exc
+                    continue
+                except DeadProclet as exc:
+                    last_exc = exc
+                    if backoff > 0.0:
+                        delay = backoff
+                        if config.route_retry_jitter > 0.0:
+                            rng = self.qs.sim.random.stream(
+                                "ds.route.backoff")
+                            delay += (backoff * config.route_retry_jitter
+                                      * rng.random())
+                        yield self.qs.sim.timeout(delay)
+                        backoff *= config.route_retry_multiplier
                     continue
                 return result
             raise last_exc
@@ -259,7 +290,9 @@ class ShardedBase:
             # The partner is lost to a machine failure (possibly
             # awaiting recovery): there is nothing to merge into.
             return False
-        return combined < 0.7 * self.qs.config.max_shard_bytes
+        from ..autoscale import policy
+
+        return policy.merge_fits(combined, self.qs.config.max_shard_bytes)
 
     def _merge_partner(self, idx: int) -> Optional[Shard]:
         """Prefer the left neighbour (keeps ranges contiguous)."""
@@ -298,6 +331,28 @@ class ShardedBase:
             self._los[partner_idx] = shard.lo
         self._remove_shard(shard)
 
+    # -- two-phase reshard protocol (autoscaler-driven) ----------------------------
+    def reshard_split_by_id(self, proclet_id: int,
+                            driver: str = "autoscale"):
+        """Split the named shard through the crash-safe two-phase
+        protocol (prepare → commit → cleanup, rollback on machine
+        failure at any phase).  Unlike :meth:`split_shard_by_id`, the
+        routing table flips atomically inside the protocol — there is
+        no completion-subscriber window where the child is live but
+        unrouted.  Returns the completion event or ``None``."""
+        from ..autoscale.reshard import reshard_split
+
+        return reshard_split(self, proclet_id, driver=driver)
+
+    def reshard_merge_by_id(self, proclet_id: int,
+                            driver: str = "autoscale"):
+        """Merge the named shard into its preferred neighbour through
+        the two-phase protocol.  Returns the completion event or
+        ``None``."""
+        from ..autoscale.reshard import reshard_merge
+
+        return reshard_merge(self, proclet_id, driver=driver)
+
     # -- teardown -----------------------------------------------------------------------
     def destroy(self) -> None:
         """Destroy every shard and the index proclet."""
@@ -305,6 +360,7 @@ class ShardedBase:
             self._remove_shard(shard)
             self.qs.runtime.destroy(shard.ref)
         self.qs.runtime.destroy(self.index_ref)
+        self.qs.runtime.reshard_ledger.untrack(self)
 
     def __repr__(self) -> str:
         return (f"<{type(self).__name__} {self.name!r} "

@@ -85,6 +85,18 @@ class ShardedVector(ShardedBase):
             return self._seal_tail()
         return super().split_shard_by_id(proclet_id)
 
+    def reshard_split_by_id(self, proclet_id: int,
+                            driver: str = "autoscale"):
+        """The seal-don't-split tail rule applies to the autoscaler's
+        protocol too: sealing is instantaneous bookkeeping, so the
+        two-phase machinery would be pure overhead for the tail."""
+        idx = self._find_by_id(proclet_id)
+        if idx is None:
+            return None
+        if idx == len(self.shards) - 1:
+            return self._seal_tail()
+        return super().reshard_split_by_id(proclet_id, driver=driver)
+
     def _seal_tail(self):
         """Open a fresh, empty tail shard; no data moves.
 

@@ -3,6 +3,7 @@ plus the ablations from DESIGN.md."""
 
 from . import (
     ablations,
+    autoscale,
     cloning,
     fig1_filler,
     fig2_imbalance,
@@ -10,6 +11,11 @@ from . import (
     recovery,
     serving,
     sweep_burst,
+)
+from .autoscale import (
+    AutoscaleRow,
+    run_autoscale_fig2,
+    run_autoscale_grid,
 )
 from .cloning import run_cloning, run_cloning_exec
 from .fig1_filler import Fig1Config, Fig1Result, run_fig1, run_fig1_both
@@ -20,12 +26,14 @@ from .serving import run_serving, run_serving_exec
 from .sweep_burst import SweepPoint, run_sweep
 
 __all__ = [
+    "AutoscaleRow",
     "Fig1Config",
     "Fig1Result",
     "Fig2Row",
     "Fig3Config",
     "Fig3Result",
     "ablations",
+    "autoscale",
     "cloning",
     "fig1_filler",
     "fig2_imbalance",
@@ -35,6 +43,8 @@ __all__ = [
     "run_recovery_ablation",
     "run_recovery_fig2",
     "SweepPoint",
+    "run_autoscale_fig2",
+    "run_autoscale_grid",
     "run_fig1",
     "run_fig1_both",
     "run_fig2",

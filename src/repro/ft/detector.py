@@ -67,6 +67,10 @@ class FailureDetector:
         self.suspects = 0
         self.confirms = 0
         self.recoveries = 0   # machines seen coming back ALIVE
+        #: Machines currently in SUSPECTED (not yet confirmed dead, not
+        #: yet back alive) — maintained on transitions so O(1) callers
+        #: (the shard autoscaler's freeze gate) need no sweep.
+        self.suspected_count = 0
         self._suspect_listeners: List[Callable] = []
         self._confirm_listeners: List[Callable] = []
         self._alive_listeners: List[Callable] = []
@@ -87,6 +91,13 @@ class FailureDetector:
 
     def suspected_machines(self) -> List:
         return [m for m in self.cluster.machines if self.is_suspected(m)]
+
+    def any_suspected(self) -> bool:
+        """True while at least one machine sits in the SUSPECTED window
+        (verdict uncertain: neither confirmed dead nor back alive).
+        Confirmed-dead machines do NOT count — freezing on them forever
+        would never unfreeze a consumer."""
+        return self.suspected_count > 0
 
     # -- listeners ------------------------------------------------------------
     def on_suspect(self, fn: Callable) -> None:
@@ -148,6 +159,7 @@ class FailureDetector:
     def _transition_suspected(self, machine) -> None:
         self._state[machine.id] = MachineHealth.SUSPECTED
         self.suspects += 1
+        self.suspected_count += 1
         if self.metrics is not None:
             self.metrics.count("ft.suspects")
         tr = self.sim.tracer
@@ -162,6 +174,7 @@ class FailureDetector:
     def _transition_dead(self, machine) -> None:
         self._state[machine.id] = MachineHealth.DEAD
         self.confirms += 1
+        self.suspected_count -= 1
         if self.metrics is not None:
             self.metrics.count("ft.confirms")
             down = self._down_since.get(machine.id)
@@ -177,6 +190,8 @@ class FailureDetector:
     def _transition_alive(self, machine, previous: MachineHealth) -> None:
         self._state[machine.id] = MachineHealth.ALIVE
         self._down_since.pop(machine.id, None)
+        if previous is MachineHealth.SUSPECTED:
+            self.suspected_count -= 1
         self.recoveries += 1
         if self.metrics is not None:
             self.metrics.count("ft.machines_back")

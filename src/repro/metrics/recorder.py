@@ -135,6 +135,34 @@ class MetricsRecorder:
             self.gauge(f"{prefix}.{key}").set(now, stats[key])
         return stats
 
+    def record_autoscale_stats(self, autoscaler,
+                               prefix: str = "autoscale") -> Dict:
+        """Snapshot a :class:`repro.autoscale.ShardAutoscaler`'s outcome
+        counters — decisions issued, reshard-ledger commit/abort totals,
+        freeze/shed skips, current state — into gauges at the current
+        virtual time; returns the stats dict."""
+        now = self.sim.now
+        ledger = autoscaler.qs.runtime.reshard_ledger
+        stats = {
+            "decisions": len(autoscaler.decisions),
+            "splits_issued": autoscaler.splits_issued,
+            "merges_issued": autoscaler.merges_issued,
+            "frozen_skips": autoscaler.frozen_skips,
+            "shed_skips": autoscaler.shed_skips,
+            "sheds": autoscaler.sheds,
+            "op_failures": autoscaler.op_failures,
+            "active_ops": ledger.active_count(),
+        }
+        stats.update(ledger.counters)
+        for key in sorted(stats):
+            self.gauge(f"{prefix}.{key}").set(now, stats[key])
+        # The state gauge is numeric: 0 active, 1 frozen, 2 degraded.
+        state_code = {"active": 0, "frozen": 1, "degraded": 2}
+        self.gauge(f"{prefix}.state").set(
+            now, state_code[autoscaler.state])
+        stats["state"] = autoscaler.state
+        return stats
+
     def record_clone_stats(self, runtime, prefix: str = "hedge") -> Dict:
         """Snapshot a :class:`repro.runtime.NuRuntime`'s cloning/hedging
         counters (``runtime.clone_stats``) into gauges at the current

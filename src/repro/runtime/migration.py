@@ -92,6 +92,26 @@ class MigrationEngine:
         # Destination DRAM held by in-flight migrations:
         # proclet id -> (dst, bytes, dst incarnation at reserve time).
         self._inflight: Dict[int, Tuple[Machine, float, int]] = {}
+        # Gate-window accounting: every interval a proclet spends behind
+        # its migration gate for a non-migration reason (the reshard
+        # protocol's dual-route window) is reported here, so callers can
+        # prove "no key unroutable for longer than one migration gate".
+        self.gate_windows: Dict[str, int] = {}
+        self.gate_window_time: Dict[str, float] = {}
+        self.max_gate_window: float = 0.0
+
+    def note_gate_window(self, kind: str, duration: float) -> None:
+        """Record one closed gate window of *kind* (e.g. ``reshard.split``)
+        that held callers out for *duration* seconds."""
+        self.gate_windows[kind] = self.gate_windows.get(kind, 0) + 1
+        self.gate_window_time[kind] = (
+            self.gate_window_time.get(kind, 0.0) + duration)
+        if duration > self.max_gate_window:
+            self.max_gate_window = duration
+        m = self.runtime.metrics
+        if m is not None:
+            m.count(f"runtime.gate.{kind}")
+            m.observe("runtime.gate.window", duration)
 
     def inflight_reserved_on(self, machine: Machine) -> float:
         """Bytes of *machine*'s DRAM reserved by in-flight migrations

@@ -20,6 +20,7 @@ from .locator import Locator
 from .migration import MigrationConfig, MigrationEngine
 from .proclet import Proclet, ProcletStatus
 from .ref import Payload, ProcletRef
+from .reshard import ReshardLedger
 
 
 class NuRuntime:
@@ -40,6 +41,9 @@ class NuRuntime:
         self.tracer = Tracer(self.sim)
         self.locator = Locator()
         self.migration = MigrationEngine(self, migration_config)
+        #: Ledger of in-flight shard split/merge operations; the chaos
+        #: invariant checker audits every structural change through it.
+        self.reshard_ledger = ReshardLedger(self.sim)
         self._proclets: Dict[int, Proclet] = {}
         # Ids of proclets killed by machine failures: lookups through a
         # stale ref raise ProcletLost instead of the generic DeadProclet.

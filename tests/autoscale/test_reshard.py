@@ -1,0 +1,289 @@
+"""Crash tests for the two-phase reshard protocol: commit atomicity,
+rollback at every phase boundary, and service preservation during the
+gate window.  The chaos invariant checker is attached throughout, so
+every simulator event — including the ones between a machine failure
+and the protocol's rollback — is audited for routable-keys-always,
+range-map agreement, and no-orphaned-children."""
+
+import pytest
+
+from repro.chaos import InvariantChecker
+from repro.ds.sharding import BOTTOM
+from repro.runtime import DeadProclet
+from repro.units import KiB, MS, MiB, US
+
+from ..conftest import make_qs
+
+ITEM = 1 * MiB  # big items: transfers are long enough to interrupt
+
+
+def make_quiet_qs(**kwargs):
+    """No background controllers: the tests drive the protocol by hand."""
+    kwargs.setdefault("max_shard_bytes", 256 * KiB)
+    kwargs.setdefault("min_shard_bytes", 32 * KiB)
+    kwargs.setdefault("enable_local_scheduler", False)
+    kwargs.setdefault("enable_global_scheduler", False)
+    kwargs.setdefault("enable_split_merge", False)
+    return make_qs(**kwargs)
+
+
+def checked(qs):
+    return InvariantChecker(qs.runtime).attach(qs.sim)
+
+
+def fill(qs, m, n, item=ITEM):
+    for i in range(n):
+        qs.run(until_event=m.put(f"k{i:04d}", i, item))
+
+
+def step_until(qs, pred, step=20 * US, limit=20_000):
+    """Advance virtual time in small steps until *pred* holds."""
+    for _ in range(limit):
+        if pred():
+            return
+        qs.run(until=qs.sim.now + step)
+    raise AssertionError("condition never became true")
+
+
+def force_cross_machine(qs, donor_machine):
+    """Pin child placement to a machine that is not the donor's."""
+    other = next(mach for mach in qs.machines if mach is not donor_machine)
+    qs.placement.best_for_memory = lambda *a, **k: other
+    return other
+
+
+class TestSplitProtocol:
+    def test_commit_flips_table_atomically(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 8)
+        donor = m.shards[0]
+        force_cross_machine(qs, donor.ref.machine)
+        ev = m.reshard_split_by_id(donor.ref.proclet_id)
+        split_key, child_ref = qs.run(until_event=ev)
+        assert m.shard_count == 2
+        assert [s.lo for s in m.shards] == m._los
+        assert m.shards[0].lo == BOTTOM and m.shards[1].lo == split_key
+        assert m.shards[1].ref is child_ref
+        # Ranges were pushed down inside the same commit step.
+        lo_p, hi_p = m.shards[0].proclet, m.shards[1].proclet
+        assert lo_p.range_hi == split_key and hi_p.range_lo == split_key
+        ledger = qs.runtime.reshard_ledger
+        assert ledger.counters["split_committed"] == 1
+        assert ledger.active_count() == 0
+        for i in range(8):
+            assert qs.run(until_event=m.get(f"k{i:04d}")) == i
+        assert checker.checks > 0
+
+    def test_declined_when_single_object(self):
+        qs = make_quiet_qs()
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 1)
+        ev = m.reshard_split_by_id(m.shards[0].ref.proclet_id)
+        assert qs.run(until_event=ev) is None
+        assert m.shard_count == 1
+        # Declined before any side effect: nothing started, nothing
+        # aborted.
+        assert qs.runtime.reshard_ledger.counters["split_started"] == 0
+
+    def test_unknown_shard_returns_none(self):
+        qs = make_quiet_qs()
+        m = qs.sharded_map(name="kv")
+        assert m.reshard_split_by_id(10**9) is None
+        assert m.reshard_merge_by_id(10**9) is None
+
+    def test_donor_crash_in_prepare_aborts(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 8)
+        donor = m.shards[0]
+        ev = m.reshard_split_by_id(donor.ref.proclet_id)
+        qs.run(until=qs.sim.now + 30 * US)  # inside the prepare gate
+        assert qs.runtime.reshard_ledger.active_count() == 1
+        qs.runtime.fail_machine(donor.ref.machine)
+        assert qs.run(until_event=ev) is None
+        ledger = qs.runtime.reshard_ledger
+        assert ledger.counters["split_aborted"] == 1
+        assert ledger.active_count() == 0
+        # The (now lost) donor stays in the table for recovery to find.
+        assert m.shard_count == 1
+        assert donor.ref.proclet_id in qs.runtime.lost_proclets()
+        assert checker.checks > 0
+
+    def test_child_machine_crash_mid_transfer_rolls_back(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 8)
+        donor = m.shards[0]
+        dst = force_cross_machine(qs, donor.ref.machine)
+        ledger = qs.runtime.reshard_ledger
+        ev = m.reshard_split_by_id(donor.ref.proclet_id)
+        # Wait for the gated child to exist: the op is mid-transfer.
+        step_until(qs, lambda: any(op.child_id is not None
+                                   for op in ledger.active_ops()))
+        qs.runtime.fail_machine(dst)
+        assert qs.run(until_event=ev) is None
+        assert ledger.counters["split_aborted"] == 1
+        assert m.shard_count == 1
+        # Rollback reinstalled the extracted half: nothing was lost.
+        for i in range(8):
+            assert qs.run(until_event=m.get(f"k{i:04d}")) == i
+        assert checker.checks > 0
+
+    def test_donor_crash_mid_transfer_aborts_and_reaps_child(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 8)
+        donor = m.shards[0]
+        donor_machine = donor.ref.machine
+        force_cross_machine(qs, donor_machine)
+        ledger = qs.runtime.reshard_ledger
+        ev = m.reshard_split_by_id(donor.ref.proclet_id)
+        step_until(qs, lambda: any(op.child_id is not None
+                                   for op in ledger.active_ops()))
+        child_id = ledger.active_ops()[0].child_id
+        qs.runtime.fail_machine(donor_machine)
+        assert qs.run(until_event=ev) is None
+        assert ledger.counters["split_aborted"] == 1
+        # The half-filled child was destroyed, not leaked into service.
+        assert child_id not in qs.runtime._proclets
+        assert m.shard_count == 1
+        # Fail-stop semantics: the donor's keys died with its machine.
+        with pytest.raises(DeadProclet):
+            qs.run(until_event=m.get("k0000"))
+        assert checker.checks > 0
+
+
+class TestMergeProtocol:
+    def _two_shards(self, qs, m, n=8):
+        """Split once so the map has two shards on different machines."""
+        fill(qs, m, n)
+        donor = m.shards[0]
+        force_cross_machine(qs, donor.ref.machine)
+        assert qs.run(until_event=m.reshard_split_by_id(
+            donor.ref.proclet_id)) is not None
+        assert m.shard_count == 2
+        assert m.shards[0].ref.machine is not m.shards[1].ref.machine
+
+    def test_commit_merges_and_preserves_keys(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        self._two_shards(qs, m)
+        right = m.shards[1]
+        ev = m.reshard_merge_by_id(right.ref.proclet_id)
+        assert qs.run(until_event=ev) is True
+        assert m.shard_count == 1
+        assert m.shards[0].lo == BOTTOM
+        assert [s.lo for s in m.shards] == m._los
+        ledger = qs.runtime.reshard_ledger
+        assert ledger.counters["merge_committed"] == 1
+        assert ledger.active_count() == 0
+        for i in range(8):
+            assert qs.run(until_event=m.get(f"k{i:04d}")) == i
+        assert checker.checks > 0
+
+    def test_left_donor_range_absorbed_by_survivor(self):
+        qs = make_quiet_qs()
+        m = qs.sharded_map(name="kv")
+        self._two_shards(qs, m)
+        left = m.shards[0]
+        split_key = m.shards[1].lo
+        ev = m.reshard_merge_by_id(left.ref.proclet_id)
+        assert qs.run(until_event=ev) is True
+        assert m.shard_count == 1
+        # The survivor (old right shard) inherited BOTTOM.
+        assert m.shards[0].lo == BOTTOM
+        assert m.shards[0].lo != split_key
+        for i in range(8):
+            assert qs.run(until_event=m.get(f"k{i:04d}")) == i
+
+    def test_endpoint_crash_in_prepare_aborts(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        self._two_shards(qs, m)
+        right = m.shards[1]
+        ev = m.reshard_merge_by_id(right.ref.proclet_id)
+        qs.run(until=qs.sim.now + 30 * US)  # inside the prepare gate
+        qs.runtime.fail_machine(right.ref.machine)
+        assert qs.run(until_event=ev) is None
+        ledger = qs.runtime.reshard_ledger
+        assert ledger.counters["merge_aborted"] == 1
+        # Table untouched: two shards, the donor lost for recovery.
+        assert m.shard_count == 2
+        assert qs.run(until_event=m.get("k0000")) == 0  # left intact
+
+    def test_survivor_crash_mid_transfer_reinstalls_donor(self):
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        self._two_shards(qs, m)
+        left, right = m.shards
+        split_key = right.lo
+        ledger = qs.runtime.reshard_ledger
+        ev = m.reshard_merge_by_id(right.ref.proclet_id)
+        # Let the op pass the prepare gate into the bulk transfer.
+        t0 = qs.sim.now
+        step_until(qs, lambda: ledger.active_count() == 1
+                   and qs.sim.now > t0 + qs.config.split_overhead)
+        qs.runtime.fail_machine(left.ref.machine)
+        assert qs.run(until_event=ev) is None
+        assert ledger.counters["merge_aborted"] == 1
+        assert m.shard_count == 2
+        # The donor reinstalled its extracted items: every key at or
+        # above the split point still reads back correctly.
+        for i in range(8):
+            key = f"k{i:04d}"
+            if key >= split_key:
+                assert qs.run(until_event=m.get(key)) == i
+        assert checker.checks > 0
+
+
+class TestServicePreservation:
+    def test_reads_issued_during_gate_window_complete(self):
+        """Calls routed while the donor is gated block (they do not
+        fail) and settle with correct results after the flip — for keys
+        that stay in the donor AND keys that move to the child."""
+        qs = make_quiet_qs()
+        checker = checked(qs)
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 8)
+        donor = m.shards[0]
+        force_cross_machine(qs, donor.ref.machine)
+        ev = m.reshard_split_by_id(donor.ref.proclet_id)
+        qs.run(until=qs.sim.now + 30 * US)  # op holds the gate
+        assert qs.runtime.reshard_ledger.active_count() == 1
+        reads = [m.get(f"k{i:04d}") for i in range(8)]
+        write = m.put("k0000", 999, ITEM)
+        split_key, _ = qs.run(until_event=ev)
+        assert m.shard_count == 2
+        for i, read in enumerate(reads):
+            got = qs.run(until_event=read)
+            assert got in (i, 999) if i == 0 else got == i
+        qs.run(until_event=write)
+        assert qs.run(until_event=m.get("k0000")) == 999
+        # Keys on both sides of the split answered.
+        assert any(f"k{i:04d}" >= split_key for i in range(8))
+        assert checker.checks > 0
+
+    def test_gate_window_is_bounded(self):
+        """The dual-route window is accounted and bounded: one gate
+        window per committed op, no window left open."""
+        qs = make_quiet_qs()
+        m = qs.sharded_map(name="kv")
+        fill(qs, m, 8)
+        donor = m.shards[0]
+        force_cross_machine(qs, donor.ref.machine)
+        qs.run(until_event=m.reshard_split_by_id(donor.ref.proclet_id))
+        mig = qs.runtime.migration
+        assert mig.gate_windows.get("reshard.split") == 1
+        assert 0.0 < mig.max_gate_window < 50 * MS
+        # All gates reopened: every shard answers immediately.
+        from repro.runtime.proclet import ProcletStatus
+        for s in m.shards:
+            assert s.proclet.status is ProcletStatus.RUNNING
